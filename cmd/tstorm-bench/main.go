@@ -1,0 +1,78 @@
+// Command tstorm-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	tstorm-bench [-fig 5] [-duration 1000s] [-seed 1] [-csv dir]
+//
+// Without -fig it regenerates every figure in order. With -csv the series
+// are also written as CSV files into the given directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"tstorm/internal/experiment"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure ID to regenerate (table2,2,3,5,6,8,9,10,headline,baselines,gamma); empty = all")
+	duration := flag.Duration("duration", 0, "override run duration (0 = paper durations)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	csvDir := flag.String("csv", "", "directory to write per-figure CSV series into")
+	flag.Parse()
+
+	if err := run(*fig, *duration, *seed, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "tstorm-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig string, duration time.Duration, seed uint64, csvDir string) error {
+	gens := experiment.Generators()
+	ids := experiment.GeneratorIDs()
+	if fig != "" {
+		if _, ok := gens[fig]; !ok {
+			return fmt.Errorf("unknown figure %q (have %v)", fig, ids)
+		}
+		ids = []string{fig}
+	}
+	opt := experiment.Options{Duration: duration, Seed: seed}
+	for _, id := range ids {
+		start := time.Now()
+		figure, err := gens[id](opt)
+		if err != nil {
+			return fmt.Errorf("figure %s: %w", id, err)
+		}
+		if err := figure.Render(os.Stdout); err != nil {
+			return err
+		}
+		logScale := id == "9" || id == "10" || id == "3"
+		if err := figure.Chart(os.Stdout, 12, logScale); err != nil {
+			return err
+		}
+		fmt.Printf("(regenerated in %.1fs wall time)\n\n", time.Since(start).Seconds())
+		if csvDir != "" {
+			if err := os.MkdirAll(csvDir, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(csvDir, "fig"+id+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := figure.CSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+	}
+	return nil
+}

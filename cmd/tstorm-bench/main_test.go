@@ -1,0 +1,33 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run("nope", 0, 1, ""); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestRunTable2AndCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("table2", 0, 1, dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "figtable2.csv")); err != nil {
+		t.Fatalf("csv not written: %v", err)
+	}
+}
+
+func TestRunFig3Short(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	if err := run("3", 60*time.Second, 1, ""); err != nil {
+		t.Fatal(err)
+	}
+}

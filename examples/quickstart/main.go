@@ -1,0 +1,132 @@
+// Quickstart: build a tiny topology, run it on a simulated 3-node cluster
+// with the full T-Storm stack (load monitors → load DB → schedule
+// generator running Algorithm 1 → custom scheduler), and print what
+// happened.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"tstorm/internal/cluster"
+	"tstorm/internal/core"
+	"tstorm/internal/engine"
+	"tstorm/internal/loaddb"
+	"tstorm/internal/monitor"
+	"tstorm/internal/scheduler"
+	"tstorm/internal/topology"
+	"tstorm/internal/tuple"
+)
+
+// numberSpout emits sequential integers, one per emit cycle.
+type numberSpout struct{ next int }
+
+func (s *numberSpout) Open(*engine.Context) {}
+
+func (s *numberSpout) NextTuple(em engine.SpoutEmitter) {
+	em.EmitWithID("", tuple.Values{s.next}, s.next)
+	s.next++
+}
+
+func (s *numberSpout) Ack(any)  {}
+func (s *numberSpout) Fail(any) {}
+
+// doublerBolt multiplies by two and forwards.
+type doublerBolt struct{}
+
+func (doublerBolt) Prepare(*engine.Context) {}
+
+func (doublerBolt) Execute(in tuple.Tuple, em engine.Emitter) {
+	if n, ok := in.Values[0].(int); ok {
+		em.Emit("", tuple.Values{2 * n})
+	}
+}
+
+// sumBolt accumulates everything it sees.
+type sumBolt struct{ total *int64 }
+
+func (sumBolt) Prepare(*engine.Context) {}
+
+func (b sumBolt) Execute(in tuple.Tuple, em engine.Emitter) {
+	if n, ok := in.Values[0].(int); ok {
+		*b.total += int64(n)
+	}
+}
+
+func main() {
+	// 1. Describe the topology: spout → doubler → sum, with 1 acker.
+	b := topology.NewBuilder("quickstart", 3)
+	b.SetAckers(1)
+	b.Spout("numbers", 1).Output("default", "n")
+	b.Bolt("double", 2).Shuffle("numbers").Output("default", "n")
+	b.Bolt("sum", 1).Global("double")
+	top, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Bind component code and per-tuple CPU costs.
+	var total int64
+	app := &engine.App{
+		Topology: top,
+		Spouts: map[string]func() engine.Spout{
+			"numbers": func() engine.Spout { return &numberSpout{} },
+		},
+		Bolts: map[string]func() engine.Bolt{
+			"double": func() engine.Bolt { return doublerBolt{} },
+			"sum":    func() engine.Bolt { return sumBolt{total: &total} },
+		},
+		Costs: map[string]engine.CostFn{
+			"double": engine.ConstCost(engine.Cycles(100*time.Microsecond, 2000)),
+			"sum":    engine.ConstCost(engine.Cycles(50*time.Microsecond, 2000)),
+		},
+		SpoutInterval: map[string]time.Duration{"numbers": 10 * time.Millisecond},
+	}
+
+	// 3. Build a 3-node simulated cluster and a T-Storm runtime.
+	cl, err := cluster.Uniform(3, 4, 2000, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt, err := engine.NewRuntime(engine.TStormConfig(), cl)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Submit with T-Storm's modified initial scheduler.
+	initial, err := scheduler.TStormInitial{}.Schedule(&scheduler.Input{
+		Topologies: []*topology.Topology{top}, Cluster: cl,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rt.Submit(app, initial); err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Start the T-Storm architecture: monitors → DB → generator →
+	//    custom scheduler.
+	db := loaddb.New(0.5)
+	monitor.Start(rt, db, monitor.DefaultPeriod)
+	gen, err := core.StartGenerator(rt, db, core.DefaultGeneratorConfig(), core.NewTrafficAware(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	core.StartCustomScheduler(rt, core.DefaultFetchPeriod)
+
+	// 6. Run 10 simulated minutes.
+	if err := rt.RunFor(10 * time.Minute); err != nil {
+		log.Fatal(err)
+	}
+
+	tm := rt.Metrics("quickstart")
+	fmt.Println("quickstart finished:")
+	fmt.Printf("  tuples fully processed: %d (failed %d)\n", tm.Completions, tm.Failed)
+	fmt.Printf("  sum of doubled numbers: %d\n", total)
+	fmt.Printf("  avg processing time:    %.3f ms\n", tm.Latency.MeanAfter(0))
+	fmt.Printf("  worker nodes in use:    %.0f of %d\n", tm.NodesInUse.Last(), cl.NumNodes())
+	fmt.Printf("  schedules generated:    %d (published %d)\n", gen.Generations(), gen.Published())
+}

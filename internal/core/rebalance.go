@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+
+	"tstorm/internal/cluster"
+	"tstorm/internal/engine"
+	"tstorm/internal/scheduler"
+	"tstorm/internal/topology"
+)
+
+// Rebalance re-applies an initial-style placement with a new requested
+// worker count — Storm's `storm rebalance -n` command, which T-Storm also
+// uses to enforce its one-worker-per-node initial setting (§IV-C). With
+// tstormStyle the modified initial scheduler is used (min(N_u, nodes)
+// workers, one per node); otherwise Storm's default round-robin.
+func Rebalance(rt *engine.Runtime, topo string, numWorkers int, tstormStyle bool) error {
+	app, ok := rt.App(topo)
+	if !ok {
+		return fmt.Errorf("core: unknown topology %q", topo)
+	}
+	if err := app.Topology.SetNumWorkers(numWorkers); err != nil {
+		return err
+	}
+	in := &scheduler.Input{
+		Topologies: []*topology.Topology{app.Topology},
+		Cluster:    rt.Cluster(),
+		Occupied:   occupiedByOthers(rt, topo),
+	}
+	var alg scheduler.Algorithm = scheduler.RoundRobin{}
+	if tstormStyle {
+		alg = scheduler.TStormInitial{}
+	}
+	a, err := alg.Schedule(in)
+	if err != nil {
+		return err
+	}
+	return rt.PublishAssignment(topo, a)
+}
+
+// occupiedByOthers marks every slot used by topologies other than topo,
+// plus all slots of failed nodes.
+func occupiedByOthers(rt *engine.Runtime, topo string) map[cluster.SlotID]bool {
+	occ := make(map[cluster.SlotID]bool)
+	for _, other := range rt.Topologies() {
+		if other == topo {
+			continue
+		}
+		if a, ok := rt.CurrentAssignment(other); ok {
+			for _, s := range a.Executors {
+				occ[s] = true
+			}
+		}
+	}
+	for _, down := range rt.DownNodes() {
+		if node, ok := rt.Cluster().Node(down); ok {
+			for p := 0; p < node.NumSlots; p++ {
+				occ[cluster.SlotID{Node: down, Port: cluster.BasePort + p}] = true
+			}
+		}
+	}
+	return occ
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"tstorm/internal/cluster"
+	"tstorm/internal/engine"
+	"tstorm/internal/scheduler"
+	"tstorm/internal/topology"
+)
+
+func startedRuntime(t *testing.T) (*engine.Runtime, *engine.App) {
+	t.Helper()
+	cl, err := cluster.Uniform(10, 4, 2000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := engine.NewRuntime(engine.TStormConfig(), cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := testApp(t)
+	initial, err := scheduler.RoundRobin{}.Schedule(&scheduler.Input{
+		Topologies: []*topology.Topology{app.Topology}, Cluster: cl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Submit(app, initial); err != nil {
+		t.Fatal(err)
+	}
+	return rt, app
+}
+
+func TestRebalanceChangesWorkerCount(t *testing.T) {
+	rt, app := startedRuntime(t)
+	if err := rt.RunFor(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Shrink from 20 requested workers to 4 with the default style.
+	if err := Rebalance(rt, "pipeline", 4, false); err != nil {
+		t.Fatal(err)
+	}
+	if app.Topology.NumWorkers() != 4 {
+		t.Fatalf("NumWorkers = %d, want 4", app.Topology.NumWorkers())
+	}
+	cur, _ := rt.CurrentAssignment("pipeline")
+	if got := len(cur.UsedSlots()); got != 4 {
+		t.Fatalf("used %d slots after rebalance, want 4", got)
+	}
+	// T-Storm style: one worker per node.
+	if err := Rebalance(rt, "pipeline", 20, true); err != nil {
+		t.Fatal(err)
+	}
+	cur, _ = rt.CurrentAssignment("pipeline")
+	if got := len(cur.UsedSlots()); got != 10 {
+		t.Fatalf("tstorm-style rebalance used %d slots, want 10 (one per node)", got)
+	}
+	perNode := map[cluster.NodeID]int{}
+	for _, s := range cur.UsedSlots() {
+		perNode[s.Node]++
+	}
+	for n, c := range perNode {
+		if c != 1 {
+			t.Fatalf("node %s hosts %d slots, want 1", n, c)
+		}
+	}
+	// Processing continues across the rebalances.
+	if err := rt.RunFor(90 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Metrics("pipeline").Completions == 0 {
+		t.Fatal("nothing completed after rebalances")
+	}
+}
+
+func TestRebalanceValidation(t *testing.T) {
+	rt, _ := startedRuntime(t)
+	if err := Rebalance(rt, "ghost", 2, false); err == nil {
+		t.Fatal("rebalanced unknown topology")
+	}
+	if err := Rebalance(rt, "pipeline", 0, false); err == nil {
+		t.Fatal("rebalanced to zero workers")
+	}
+}
+
+func TestKillTopologyStopsEverything(t *testing.T) {
+	rt, _ := startedRuntime(t)
+	if err := rt.RunFor(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	tm := rt.Metrics("pipeline")
+	if tm.Completions == 0 {
+		t.Fatal("no progress before kill")
+	}
+	if err := rt.KillTopology("pipeline"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.KillTopology("pipeline"); err == nil {
+		t.Fatal("double kill succeeded")
+	}
+	before := tm.Completions
+	if err := rt.RunFor(60 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if tm.Completions != before {
+		t.Fatalf("killed topology kept completing: %d → %d", before, tm.Completions)
+	}
+	if len(rt.Topologies()) != 0 {
+		t.Fatalf("Topologies = %v after kill", rt.Topologies())
+	}
+	if _, ok := rt.CurrentAssignment("pipeline"); ok {
+		t.Fatal("assignment survives kill")
+	}
+}

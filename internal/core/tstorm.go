@@ -1,0 +1,273 @@
+// Package core implements the paper's contribution: the traffic-aware
+// online scheduling algorithm (Algorithm 1) with its consolidation factor
+// γ and capacity constraints, the schedule generator daemon that runs it
+// periodically (and immediately on overload) with hot-swapping of
+// algorithms and on-the-fly parameter changes, and the thin custom
+// scheduler that fetches generated schedules and applies them to the
+// cluster.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tstorm/internal/cluster"
+	"tstorm/internal/loaddb"
+	"tstorm/internal/scheduler"
+	"tstorm/internal/topology"
+)
+
+// TrafficAware is Algorithm 1 of the paper. Executors are sorted in
+// descending order of their total (incoming + outgoing) traffic, and each
+// is assigned to the feasible slot that minimizes the incremental
+// inter-node traffic, subject to three per-node constraints:
+//
+//  1. executors of one topology occupy at most one slot per node;
+//  2. total assigned workload stays within C_k (CapacityFraction × the
+//     node's physical capacity);
+//  3. the executor count stays within γ·N_e/K (the consolidation factor).
+//
+// If no slot satisfies every constraint, the constraints are relaxed
+// progressively (first the count cap, then capacity), so the algorithm is
+// total; relaxations are reported in the Stats.
+type TrafficAware struct {
+	// Gamma is the consolidation factor γ (≥ 1). 1 spreads executors
+	// almost evenly over all nodes; larger values consolidate onto fewer
+	// nodes.
+	Gamma float64
+	// CapacityFraction scales node capacity to get C_k (0 means 1.0).
+	CapacityFraction float64
+	// DisableTrafficOrder skips line 2 of Algorithm 1 (the descending
+	// total-traffic sort) and places executors in declaration order
+	// instead — an ablation isolating the sort's contribution.
+	DisableTrafficOrder bool
+
+	// LastStats records diagnostics of the most recent Schedule call.
+	LastStats Stats
+}
+
+// Stats reports diagnostics of one scheduling run.
+type Stats struct {
+	// Relaxations counts executors that needed constraint relaxation.
+	Relaxations int
+	// InterNodeTraffic is the objective value of the produced assignment
+	// (sum of traffic rates crossing node boundaries).
+	InterNodeTraffic float64
+	// NodesUsed is the number of distinct nodes in the assignment.
+	NodesUsed int
+}
+
+var _ scheduler.Algorithm = (*TrafficAware)(nil)
+
+// NewTrafficAware returns the algorithm with the given consolidation
+// factor.
+func NewTrafficAware(gamma float64) *TrafficAware {
+	return &TrafficAware{Gamma: gamma}
+}
+
+// Name returns "tstorm".
+func (t *TrafficAware) Name() string { return "tstorm" }
+
+// Schedule runs Algorithm 1.
+func (t *TrafficAware) Schedule(in *scheduler.Input) (*cluster.Assignment, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if t.Gamma < 1 {
+		return nil, fmt.Errorf("core: consolidation factor γ=%v must be ≥ 1", t.Gamma)
+	}
+	load := in.Load
+	if load == nil {
+		load = &loaddb.Snapshot{}
+	}
+	capFrac := in.CapacityFraction
+	if capFrac == 0 {
+		capFrac = 1
+	}
+
+	// Collect executors of all topologies (the paper's E over M
+	// topologies) with loads l_i and pairwise traffic r_ii'.
+	var execs []topology.ExecutorID
+	for _, top := range in.Topologies {
+		execs = append(execs, top.Executors()...)
+	}
+	ne := len(execs)
+	k := in.Cluster.NumNodes()
+	// The paper's per-node executor cap γ·Ne/K, floored at one: a node
+	// that may host no executor at all would make every small topology
+	// (Ne < K) infeasible and hand control to the relaxation path, which
+	// packs — the opposite of the γ=1 "almost even distribution" intent.
+	countCap := t.Gamma * float64(ne) / float64(k)
+	if countCap < 1 {
+		countCap = 1
+	}
+
+	totalTraffic := load.TotalTraffic()
+	// Line 2: sort executors by descending total traffic; ties broken by
+	// executor identity for determinism.
+	if !t.DisableTrafficOrder {
+		sort.SliceStable(execs, func(i, j int) bool {
+			ti, tj := totalTraffic[execs[i]], totalTraffic[execs[j]]
+			if ti != tj {
+				return ti > tj
+			}
+			return execs[i].Less(execs[j])
+		})
+	}
+
+	// Pairwise traffic, symmetrized: r(i,i') + r(i',i).
+	pair := make(map[loaddb.FlowKey]float64, len(load.Flows))
+	for _, f := range load.Flows {
+		pair[loaddb.FlowKey{From: f.From, To: f.To}] += f.Rate
+		pair[loaddb.FlowKey{From: f.To, To: f.From}] += f.Rate
+	}
+
+	// Mutable assignment state.
+	slots := in.FreeSlots()
+	nodeLoad := make(map[cluster.NodeID]float64)
+	nodeCount := make(map[cluster.NodeID]int)
+	// topoSlot[node][topology] = slot chosen for that topology on that node.
+	topoSlot := make(map[cluster.NodeID]map[string]cluster.SlotID)
+	slotTopo := make(map[cluster.SlotID]string) // slot → owning topology
+	// trafficToNode[i] is computed per executor during its placement.
+	placedOnNode := make(map[cluster.NodeID][]topology.ExecutorID)
+
+	a := cluster.NewAssignment(0)
+	t.LastStats = Stats{}
+
+	capacityOf := func(n cluster.NodeID) float64 {
+		node, _ := in.Cluster.Node(n)
+		return node.CapacityMHz() * capFrac
+	}
+
+	for _, e := range execs {
+		li := load.ExecLoad[e]
+		// The slot a topology must reuse per node, if any.
+		type candidate struct {
+			slot cluster.SlotID
+			gain float64 // co-located traffic (maximize = minimize incremental)
+		}
+		// Co-located traffic depends only on the node, not the slot:
+		// cache it per node across candidate slots.
+		gainCache := make(map[cluster.NodeID]float64)
+		nodeGain := func(n cluster.NodeID) float64 {
+			if g, ok := gainCache[n]; ok {
+				return g
+			}
+			g := 0.0
+			for _, other := range placedOnNode[n] {
+				g += pair[loaddb.FlowKey{From: e, To: other}]
+			}
+			gainCache[n] = g
+			return g
+		}
+		eval := func(relaxCount, relaxCapacity bool) (cluster.SlotID, bool) {
+			var best candidate
+			found := false
+			for _, s := range slots {
+				owner, owned := slotTopo[s]
+				if owned && owner != e.Topology {
+					continue // slot belongs to another topology
+				}
+				ts := topoSlot[s.Node][e.Topology]
+				if ts != (cluster.SlotID{}) && ts != s {
+					continue // constraint 1: one slot per topology per node
+				}
+				if !relaxCapacity && nodeLoad[s.Node]+li > capacityOf(s.Node) {
+					continue // constraint 2
+				}
+				if !relaxCount && float64(nodeCount[s.Node]+1) > countCap {
+					continue // constraint 3
+				}
+				gain := nodeGain(s.Node)
+				if !found || gain > best.gain {
+					best = candidate{slot: s, gain: gain}
+					found = true
+				}
+			}
+			return best.slot, found
+		}
+
+		slot, ok := eval(false, false)
+		if !ok {
+			t.LastStats.Relaxations++
+			slot, ok = eval(true, false)
+		}
+		if !ok {
+			slot, ok = eval(true, true)
+		}
+		if !ok {
+			return nil, fmt.Errorf("core: no slot available for executor %v", e)
+		}
+		a.Assign(e, slot)
+		nodeLoad[slot.Node] += li
+		nodeCount[slot.Node]++
+		placedOnNode[slot.Node] = append(placedOnNode[slot.Node], e)
+		if topoSlot[slot.Node] == nil {
+			topoSlot[slot.Node] = make(map[string]cluster.SlotID)
+		}
+		topoSlot[slot.Node][e.Topology] = slot
+		slotTopo[slot] = e.Topology
+	}
+
+	t.LastStats.NodesUsed = a.NumUsedNodes()
+	t.LastStats.InterNodeTraffic = InterNodeTraffic(a, load)
+	return a, nil
+}
+
+// InterNodeTraffic computes the objective of the paper's scheduling
+// problem: the total traffic rate crossing node boundaries under the
+// given assignment.
+func InterNodeTraffic(a *cluster.Assignment, load *loaddb.Snapshot) float64 {
+	total := 0.0
+	for _, f := range load.Flows {
+		sa, okA := a.Slot(f.From)
+		sb, okB := a.Slot(f.To)
+		if okA && okB && sa.Node != sb.Node {
+			total += f.Rate
+		}
+	}
+	return total
+}
+
+// InterProcessTraffic computes the traffic between distinct slots on the
+// same node (what constraint 1 drives to zero).
+func InterProcessTraffic(a *cluster.Assignment, load *loaddb.Snapshot) float64 {
+	total := 0.0
+	for _, f := range load.Flows {
+		sa, okA := a.Slot(f.From)
+		sb, okB := a.Slot(f.To)
+		if okA && okB && sa.Node == sb.Node && sa != sb {
+			total += f.Rate
+		}
+	}
+	return total
+}
+
+// MaxNodeLoad returns the highest per-node workload sum (MHz) under the
+// assignment, and that node's ID.
+func MaxNodeLoad(a *cluster.Assignment, load *loaddb.Snapshot) (cluster.NodeID, float64) {
+	perNode := make(map[cluster.NodeID]float64)
+	for e, mhz := range load.ExecLoad {
+		if s, ok := a.Slot(e); ok {
+			perNode[s.Node] += mhz
+		}
+	}
+	var worst cluster.NodeID
+	worstLoad := math.Inf(-1)
+	nodes := make([]cluster.NodeID, 0, len(perNode))
+	for n := range perNode {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	for _, n := range nodes {
+		if perNode[n] > worstLoad {
+			worst, worstLoad = n, perNode[n]
+		}
+	}
+	if math.IsInf(worstLoad, -1) {
+		return "", 0
+	}
+	return worst, worstLoad
+}

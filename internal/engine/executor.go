@@ -1,0 +1,603 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"tstorm/internal/acker"
+	"tstorm/internal/sim"
+	"tstorm/internal/topology"
+	"tstorm/internal/tuple"
+)
+
+type execKind int
+
+const (
+	spoutExec execKind = iota + 1
+	boltExec
+	ackerExec
+)
+
+type jobKind int
+
+const (
+	jobEmit     jobKind = iota + 1 // spout emit cycle
+	jobData                        // data tuple for a bolt
+	jobInit                        // acker: register root
+	jobAck                         // acker: XOR update
+	jobComplete                    // spout: tuple tree fully processed
+	jobFail                        // spout: deliver Fail(msgID) to user code
+)
+
+type job struct {
+	kind      jobKind
+	gen       int64
+	in        tuple.Tuple
+	root      tuple.ID
+	xor       tuple.ID
+	spoutID   int // dense index of originating spout (acker protocol)
+	emitAt    sim.Time
+	deserCost float64
+}
+
+func jobFromMessage(m message) job {
+	j := job{
+		gen: m.gen, in: m.in, root: m.root, xor: m.xor,
+		spoutID: m.spoutDense, emitAt: m.emitAt, deserCost: m.deserCost,
+	}
+	switch m.kind {
+	case msgData:
+		j.kind = jobData
+	case msgInit:
+		j.kind = jobInit
+	case msgAck:
+		j.kind = jobAck
+	case msgComplete:
+		j.kind = jobComplete
+	}
+	return j
+}
+
+// pendingRoot is a spout-side record of an outstanding (un-acked) root.
+type pendingRoot struct {
+	msgID  any
+	emitAt sim.Time
+	failed bool
+	timer  *sim.Timer
+}
+
+// spoutLoopCost is the base CPU cost of one emit cycle even when the
+// spout emits nothing.
+var spoutLoopCost = Cycles(5*time.Microsecond, 2000)
+
+// zombieRetention bounds how long failed pending entries are kept for
+// late-completion measurement before being swept.
+const zombieRetention = 5 * time.Minute
+
+type executor struct {
+	w     *worker
+	id    topology.ExecutorID
+	dense int
+	comp  *topology.Component
+	kind  execKind
+
+	spout   Spout
+	bolt    Bolt
+	tracker *acker.Tracker
+	cost    CostFn
+
+	interval   time.Duration
+	maxPending int
+
+	queue []job
+	head  int
+	busy  bool
+	dead  bool
+
+	pending     map[tuple.ID]*pendingRoot
+	outstanding int
+	shuffleCtr  map[string]int
+
+	// Stats (lifetime of this incarnation).
+	processed int64
+	emitted   int64
+}
+
+func (ex *executor) rt() *Runtime { return ex.w.rt }
+
+func (ex *executor) enqueue(j job) {
+	if ex.dead {
+		return
+	}
+	ex.queue = append(ex.queue, j)
+	ex.maybeStart()
+}
+
+func (ex *executor) queueLen() int { return len(ex.queue) - ex.head }
+
+func (ex *executor) pop() job {
+	j := ex.queue[ex.head]
+	ex.queue[ex.head] = job{}
+	ex.head++
+	if ex.head > 64 && ex.head*2 >= len(ex.queue) {
+		n := copy(ex.queue, ex.queue[ex.head:])
+		ex.queue = ex.queue[:n]
+		ex.head = 0
+	}
+	return j
+}
+
+// maybeStart begins servicing the queue head if the executor is idle and
+// its worker is processing. User code runs at service start; its
+// emissions are flushed when the service period ends.
+func (ex *executor) maybeStart() {
+	if ex.busy || ex.dead || ex.queueLen() == 0 || !ex.w.processing() {
+		return
+	}
+	rt := ex.rt()
+	j := ex.pop()
+	ex.busy = true
+	ns := rt.nodes[ex.w.slot.Node]
+	speed := ns.effectiveMHz(&rt.cfg)
+	cycles, flush := ex.execute(j)
+	rt.cpu[ex.dense] += cycles
+	if tm := rt.tmetrics[ex.id.Topology]; tm != nil {
+		tm.Component(ex.id.Component).CPUCycles += cycles
+	}
+	dur := time.Duration(cycles / (speed * 1e6) * float64(time.Second))
+	rt.sim.After(dur, func() {
+		ex.busy = false
+		if ex.dead {
+			return
+		}
+		if flush != nil {
+			flush()
+		}
+		ex.maybeStart()
+	})
+}
+
+// workerSystemThreads is the number of always-spinning system threads
+// (send + receive) each worker process runs besides its executors.
+const workerSystemThreads = 2
+
+// effectiveMHz is the per-thread CPU speed on this node right now. Storm
+// 0.8 executor threads busy-spin on their disruptor queues, so every
+// RESIDENT thread (executors plus each worker's system threads) consumes
+// a core share whether or not it has work; each extra live worker process
+// adds a context-switching penalty; and overcommitting the node's memory
+// with worker footprints adds a paging penalty. Worker-node consolidation
+// (§V) removes the last two and reduces the first.
+func (ns *nodeState) effectiveMHz(cfg *Config) float64 {
+	speed := ns.node.CoreMHz
+	threads := ns.residentExecs + workerSystemThreads*ns.activeWorkers
+	if threads > ns.node.Cores {
+		speed *= float64(ns.node.Cores) / float64(threads)
+	}
+	if ns.activeWorkers > 1 {
+		speed /= 1 + cfg.Cost.ContextSwitchPenalty*float64(ns.activeWorkers-1)
+	}
+	if cfg.WorkerMemMB > 0 && cfg.SwapPenalty > 0 {
+		used := cfg.WorkerMemMB * float64(ns.activeWorkers)
+		avail := float64(ns.node.MemMB) - cfg.ReservedMemMB
+		if avail > 0 && used > avail {
+			speed /= 1 + cfg.SwapPenalty*(used/avail-1)
+		}
+	}
+	return speed
+}
+
+func (ex *executor) execute(j job) (float64, func()) {
+	switch j.kind {
+	case jobEmit:
+		return ex.executeEmit()
+	case jobData:
+		return ex.executeData(j)
+	case jobInit:
+		return ex.executeInit(j)
+	case jobAck:
+		return ex.executeAck(j)
+	case jobComplete:
+		return ex.executeComplete(j)
+	case jobFail:
+		return ex.executeFail(j)
+	default:
+		panic(fmt.Sprintf("engine: unknown job kind %d", j.kind))
+	}
+}
+
+// executeEmit runs one spout emit cycle and self-schedules the next one.
+func (ex *executor) executeEmit() (float64, func()) {
+	rt := ex.rt()
+	cycles := spoutLoopCost
+	var em *spoutEmitterImpl
+	if ex.w.state == workerRunning && rt.sim.Now() >= ex.w.spoutHaltUntil &&
+		(ex.maxPending == 0 || ex.outstanding < ex.maxPending) {
+		em = &spoutEmitterImpl{ex: ex}
+		ex.spout.NextTuple(em)
+		for range em.roots {
+			cycles += ex.cost(tuple.Tuple{})
+		}
+	}
+	return cycles, func() {
+		now := rt.sim.Now()
+		if em != nil {
+			ex.flushSpoutEmits(em, now)
+		}
+		rt.sim.After(ex.interval, func() {
+			ex.enqueue(job{kind: jobEmit})
+		})
+	}
+}
+
+// flushSpoutEmits sends the buffered root emissions, registers pending
+// state and arms the per-root timeout timers.
+func (ex *executor) flushSpoutEmits(em *spoutEmitterImpl, now sim.Time) {
+	rt := ex.rt()
+	gen := ex.w.currentGen
+	tm := rt.tmetrics[ex.id.Topology]
+	for _, re := range em.roots {
+		ex.emitted++
+		cs := tm.Component(ex.id.Component)
+		cs.Executed++
+		cs.Emitted += int64(len(re.msgs))
+		if re.root == 0 {
+			// Unanchored: just send the data.
+			for _, m := range re.msgs {
+				m.gen = gen
+				rt.send(ex, gen, m)
+			}
+			continue
+		}
+		tm.RootsEmitted++
+		if len(re.msgs) == 0 {
+			// No consumers: complete instantly.
+			tm.Completions++
+			tm.Latency.Add(now, 0)
+			ex.spout.Ack(re.msgID)
+			continue
+		}
+		root := re.root
+		ex.pending[root] = &pendingRoot{msgID: re.msgID, emitAt: now}
+		ex.outstanding++
+		ex.pending[root].timer = rt.sim.After(rt.cfg.MessageTimeout, func() {
+			ex.timeoutRoot(root)
+		})
+		for _, m := range re.msgs {
+			m.gen = gen
+			rt.send(ex, gen, m)
+		}
+		if ak, ok := ex.ackerTarget(root); ok {
+			rt.send(ex, gen, message{
+				kind: msgInit, gen: gen, target: ak,
+				root: root, xor: re.initXor, spoutDense: ex.dense,
+				emitAt: now, size: rt.cfg.ControlMsgSize,
+			})
+		}
+	}
+}
+
+// timeoutRoot fires when a root's ack timeout expires.
+func (ex *executor) timeoutRoot(root tuple.ID) {
+	if ex.dead {
+		return
+	}
+	p := ex.pending[root]
+	if p == nil || p.failed {
+		return
+	}
+	rt := ex.rt()
+	p.failed = true
+	ex.outstanding--
+	tm := rt.tmetrics[ex.id.Topology]
+	tm.Failed++
+	tm.Failures.Add(rt.sim.Now(), 1)
+	ex.enqueue(job{kind: jobFail, root: root})
+}
+
+// executeData runs a bolt on one input tuple.
+func (ex *executor) executeData(j job) (float64, func()) {
+	ex.processed++
+	em := &boltEmitterImpl{ex: ex, in: j.in, gen: j.gen}
+	ex.bolt.Execute(j.in, em)
+	cs := ex.rt().tmetrics[ex.id.Topology].Component(ex.id.Component)
+	cs.Executed++
+	cs.Emitted += int64(len(em.msgs))
+	cycles := j.deserCost + ex.cost(j.in)
+	return cycles, func() {
+		rt := ex.rt()
+		for _, m := range em.msgs {
+			rt.send(ex, j.gen, m)
+		}
+		if j.in.Root != 0 {
+			if ak, ok := ex.ackerTarget(j.in.Root); ok {
+				rt.send(ex, j.gen, message{
+					kind: msgAck, gen: j.gen, target: ak,
+					root: j.in.Root, xor: j.in.Edge ^ em.xorAcc,
+					size: rt.cfg.ControlMsgSize,
+				})
+			}
+		}
+	}
+}
+
+func (ex *executor) executeInit(j job) (float64, func()) {
+	ex.processed++
+	ex.tracker.Init(j.root, j.xor, j.spoutID, j.emitAt)
+	return ex.rt().cfg.AckerCost + j.deserCost, nil
+}
+
+func (ex *executor) executeAck(j job) (float64, func()) {
+	ex.processed++
+	rt := ex.rt()
+	c, done := ex.tracker.Ack(j.root, j.xor, rt.sim.Now())
+	cycles := rt.cfg.AckerCost + j.deserCost
+	if !done {
+		return cycles, nil
+	}
+	spout := rt.denseRev[c.SpoutExec]
+	return cycles, func() {
+		rt.send(ex, j.gen, message{
+			kind: msgComplete, gen: j.gen, target: spout,
+			root: c.Root, size: rt.cfg.ControlMsgSize,
+		})
+	}
+}
+
+func (ex *executor) executeComplete(j job) (float64, func()) {
+	rt := ex.rt()
+	cycles := rt.cfg.NotifyCost + j.deserCost
+	p := ex.pending[j.root]
+	if p == nil {
+		return cycles, nil
+	}
+	now := rt.sim.Now()
+	tm := rt.tmetrics[ex.id.Topology]
+	latencyMS := now.Sub(p.emitAt).Seconds() * 1e3
+	tm.Latency.Add(now, latencyMS)
+	tm.LatencyHist.Add(latencyMS)
+	tm.Completions++
+	if p.failed {
+		tm.LateCompletions++
+	} else {
+		ex.outstanding--
+	}
+	p.timer.Cancel()
+	delete(ex.pending, j.root)
+	ex.spout.Ack(p.msgID)
+	return cycles, nil
+}
+
+func (ex *executor) executeFail(j job) (float64, func()) {
+	rt := ex.rt()
+	p := ex.pending[j.root]
+	if p != nil && p.failed {
+		ex.spout.Fail(p.msgID)
+	}
+	return rt.cfg.NotifyCost, nil
+}
+
+// sweepZombies drops failed pending entries whose late completion never
+// arrived within the retention window.
+func (ex *executor) sweepZombies() {
+	if ex.dead {
+		return
+	}
+	now := ex.rt().sim.Now()
+	for root, p := range ex.pending {
+		if p.failed && now.Sub(p.emitAt) > ex.rt().cfg.MessageTimeout+zombieRetention {
+			delete(ex.pending, root)
+		}
+	}
+	if ex.tracker != nil {
+		ex.tracker.Sweep(now, ex.rt().cfg.MessageTimeout+zombieRetention)
+	}
+}
+
+// ackerTarget returns the acker executor responsible for a root, if the
+// topology has ackers.
+func (ex *executor) ackerTarget(root tuple.ID) (topology.ExecutorID, bool) {
+	top := ex.rt().apps[ex.id.Topology].Topology
+	n := top.Ackers()
+	if n == 0 {
+		return topology.ExecutorID{}, false
+	}
+	return topology.ExecutorID{
+		Topology:  ex.id.Topology,
+		Component: topology.AckerComponent,
+		Index:     int(uint64(root) % uint64(n)),
+	}, true
+}
+
+// ---- emission ----
+
+// routeEmission resolves one logical emission to per-target data messages
+// and accumulates the XOR of the new edge IDs (for anchoring).
+func (ex *executor) routeEmission(stream string, vals tuple.Values, root tuple.ID) ([]message, tuple.ID, error) {
+	if stream == "" {
+		stream = topology.DefaultStream
+	}
+	rt := ex.rt()
+	top := rt.apps[ex.id.Topology].Topology
+	schema, ok := ex.comp.Outputs[stream]
+	if !ok {
+		return nil, 0, fmt.Errorf("engine: %v emits on undeclared stream %q", ex.id, stream)
+	}
+	size := tuple.SizeOf(vals)
+	var msgs []message
+	var xorAcc tuple.ID
+	for _, edge := range top.Consumers(ex.comp.Name, stream) {
+		if edge.Grouping.Type == topology.DirectGrouping {
+			continue // only EmitDirect reaches direct subscribers
+		}
+		cons, _ := top.Component(edge.Consumer)
+		for _, idx := range ex.chooseTargets(edge, cons.Parallelism, schema, vals) {
+			var eid tuple.ID
+			if root != 0 {
+				eid = rt.newID()
+				xorAcc ^= eid
+			}
+			msgs = append(msgs, message{
+				kind:   msgData,
+				target: topology.ExecutorID{Topology: ex.id.Topology, Component: edge.Consumer, Index: idx},
+				in: tuple.Tuple{
+					Root: root, Edge: eid, Stream: stream,
+					SrcComponent: ex.comp.Name, SrcTask: ex.id.Index,
+					Values: vals, Size: size,
+				},
+				size: size,
+			})
+		}
+	}
+	return msgs, xorAcc, nil
+}
+
+// chooseTargets picks the receiving task indexes for one consumer edge.
+func (ex *executor) chooseTargets(edge topology.ConsumerEdge, parallelism int, schema tuple.Fields, vals tuple.Values) []int {
+	switch edge.Grouping.Type {
+	case topology.ShuffleGrouping:
+		key := edge.Consumer + "\x00" + edge.Grouping.SourceStream
+		i := ex.shuffleCtr[key]
+		ex.shuffleCtr[key] = i + 1
+		return []int{(i + ex.id.Index) % parallelism}
+	case topology.LocalOrShuffleGrouping:
+		// Prefer consumer tasks hosted by this very worker; fall back to
+		// plain shuffle when the worker hosts none.
+		var local []int
+		for _, peer := range ex.w.execList {
+			if peer.id.Component == edge.Consumer && !peer.dead {
+				local = append(local, peer.id.Index)
+			}
+		}
+		key := edge.Consumer + "\x00local\x00" + edge.Grouping.SourceStream
+		i := ex.shuffleCtr[key]
+		ex.shuffleCtr[key] = i + 1
+		if len(local) > 0 {
+			return []int{local[(i+ex.id.Index)%len(local)]}
+		}
+		return []int{(i + ex.id.Index) % parallelism}
+	case topology.FieldsGrouping:
+		key := ""
+		for _, fn := range edge.Grouping.FieldNames {
+			idx, ok := schema.Index(fn)
+			if !ok || idx >= len(vals) {
+				continue
+			}
+			key += tuple.KeyString(vals[idx]) + "\x1f"
+		}
+		return []int{tuple.HashKey(key, parallelism)}
+	case topology.AllGrouping:
+		out := make([]int, parallelism)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	case topology.GlobalGrouping:
+		return []int{0}
+	default:
+		return nil
+	}
+}
+
+// routeDirect resolves an EmitDirect call to a single data message.
+func (ex *executor) routeDirect(consumer string, taskIndex int, stream string, vals tuple.Values, root tuple.ID) (message, tuple.ID, bool) {
+	if stream == "" {
+		stream = topology.DefaultStream
+	}
+	rt := ex.rt()
+	top := rt.apps[ex.id.Topology].Topology
+	cons, ok := top.Component(consumer)
+	if !ok || taskIndex < 0 || taskIndex >= cons.Parallelism {
+		return message{}, 0, false
+	}
+	if _, ok := ex.comp.Outputs[stream]; !ok {
+		return message{}, 0, false
+	}
+	var eid tuple.ID
+	if root != 0 {
+		eid = rt.newID()
+	}
+	size := tuple.SizeOf(vals)
+	return message{
+		kind:   msgData,
+		target: topology.ExecutorID{Topology: ex.id.Topology, Component: consumer, Index: taskIndex},
+		in: tuple.Tuple{
+			Root: root, Edge: eid, Stream: stream,
+			SrcComponent: ex.comp.Name, SrcTask: ex.id.Index,
+			Values: vals, Size: size,
+		},
+		size: size,
+	}, eid, true
+}
+
+// rootEmit is one buffered spout emission.
+type rootEmit struct {
+	root    tuple.ID
+	initXor tuple.ID
+	msgID   any
+	msgs    []message
+}
+
+type spoutEmitterImpl struct {
+	ex    *executor
+	roots []rootEmit
+}
+
+var _ SpoutEmitter = (*spoutEmitterImpl)(nil)
+
+func (e *spoutEmitterImpl) Emit(stream string, vals tuple.Values) {
+	msgs, _, err := e.ex.routeEmission(stream, vals, 0)
+	if err != nil {
+		return
+	}
+	e.roots = append(e.roots, rootEmit{msgs: msgs})
+}
+
+func (e *spoutEmitterImpl) EmitWithID(stream string, vals tuple.Values, msgID any) {
+	top := e.ex.rt().apps[e.ex.id.Topology].Topology
+	root := tuple.ID(0)
+	if top.Ackers() > 0 {
+		root = e.ex.rt().newID()
+	}
+	msgs, xorAcc, err := e.ex.routeEmission(stream, vals, root)
+	if err != nil {
+		return
+	}
+	e.roots = append(e.roots, rootEmit{root: root, initXor: xorAcc, msgID: msgID, msgs: msgs})
+}
+
+func (e *spoutEmitterImpl) EmitDirect(consumer string, taskIndex int, stream string, vals tuple.Values) {
+	m, _, ok := e.ex.routeDirect(consumer, taskIndex, stream, vals, 0)
+	if !ok {
+		return
+	}
+	e.roots = append(e.roots, rootEmit{msgs: []message{m}})
+}
+
+type boltEmitterImpl struct {
+	ex     *executor
+	in     tuple.Tuple
+	gen    int64
+	msgs   []message
+	xorAcc tuple.ID
+}
+
+var _ Emitter = (*boltEmitterImpl)(nil)
+
+func (e *boltEmitterImpl) Emit(stream string, vals tuple.Values) {
+	msgs, xorAcc, err := e.ex.routeEmission(stream, vals, e.in.Root)
+	if err != nil {
+		return
+	}
+	e.msgs = append(e.msgs, msgs...)
+	e.xorAcc ^= xorAcc
+}
+
+func (e *boltEmitterImpl) EmitDirect(consumer string, taskIndex int, stream string, vals tuple.Values) {
+	m, eid, ok := e.ex.routeDirect(consumer, taskIndex, stream, vals, e.in.Root)
+	if !ok {
+		return
+	}
+	e.msgs = append(e.msgs, m)
+	e.xorAcc ^= eid
+}

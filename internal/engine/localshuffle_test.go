@@ -1,0 +1,97 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"tstorm/internal/cluster"
+	"tstorm/internal/topology"
+)
+
+func localShuffleApp(t *testing.T, rec *recorder, limit int) *App {
+	t.Helper()
+	b := topology.NewBuilder("ls", 2)
+	b.SetAckers(1)
+	b.Spout("spout", 1).Output("default", "v")
+	b.Bolt("sink", 4).LocalOrShuffle("spout")
+	top, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spout := &testSpout{limit: limit}
+	return &App{
+		Topology: top,
+		Spouts:   map[string]func() Spout{"spout": func() Spout { return spout }},
+		Bolts:    map[string]func() Bolt{"sink": func() Bolt { return &recordBolt{rec: rec} }},
+	}
+}
+
+func TestLocalOrShufflePrefersSameWorker(t *testing.T) {
+	cl := testCluster(t, 2)
+	rt := mustRuntime(t, DefaultConfig(), cl)
+	rec := newRecorder()
+	app := localShuffleApp(t, rec, 40)
+	// Spout + sink[0] + sink[1] + acker on worker A; sink[2] + sink[3] on
+	// worker B (other node).
+	a := cluster.NewAssignment(0)
+	slotA := cluster.SlotID{Node: "node01", Port: cluster.BasePort}
+	slotB := cluster.SlotID{Node: "node02", Port: cluster.BasePort}
+	for _, e := range app.Topology.Executors() {
+		switch {
+		case e.Component == "sink" && e.Index >= 2:
+			a.Assign(e, slotB)
+		default:
+			a.Assign(e, slotA)
+		}
+	}
+	if err := rt.Submit(app, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.RunFor(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if rec.total() != 40 {
+		t.Fatalf("processed %d, want 40", rec.total())
+	}
+	// Everything stays on the spout's worker, split between its two local
+	// tasks.
+	if got := len(rec.byTask[2]) + len(rec.byTask[3]); got != 0 {
+		t.Fatalf("remote tasks received %d tuples, want 0", got)
+	}
+	if len(rec.byTask[0]) != 20 || len(rec.byTask[1]) != 20 {
+		t.Fatalf("local distribution uneven: %d/%d", len(rec.byTask[0]), len(rec.byTask[1]))
+	}
+}
+
+func TestLocalOrShuffleFallsBackToShuffle(t *testing.T) {
+	cl := testCluster(t, 2)
+	rt := mustRuntime(t, DefaultConfig(), cl)
+	rec := newRecorder()
+	app := localShuffleApp(t, rec, 40)
+	// Spout alone (with the acker) on worker A; all sinks on worker B.
+	a := cluster.NewAssignment(0)
+	slotA := cluster.SlotID{Node: "node01", Port: cluster.BasePort}
+	slotB := cluster.SlotID{Node: "node02", Port: cluster.BasePort}
+	for _, e := range app.Topology.Executors() {
+		if e.Component == "sink" {
+			a.Assign(e, slotB)
+		} else {
+			a.Assign(e, slotA)
+		}
+	}
+	if err := rt.Submit(app, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.RunFor(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if rec.total() != 40 {
+		t.Fatalf("processed %d, want 40", rec.total())
+	}
+	// Shuffle fallback spreads across all four tasks evenly.
+	for task := 0; task < 4; task++ {
+		if len(rec.byTask[task]) != 10 {
+			t.Fatalf("task %d got %d, want 10 (even shuffle)", task, len(rec.byTask[task]))
+		}
+	}
+}

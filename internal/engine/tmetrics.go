@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"time"
+
+	"tstorm/internal/metrics"
+	"tstorm/internal/sim"
+)
+
+// ComponentStats aggregates one component's execution counters — the
+// per-bolt/per-spout numbers Storm's UI shows.
+type ComponentStats struct {
+	// Executed counts tuples processed (bolts) or emit cycles that
+	// produced output (spouts).
+	Executed int64
+	// Emitted counts tuples sent downstream.
+	Emitted int64
+	// CPUCycles is the total useful work charged.
+	CPUCycles float64
+}
+
+// ReassignEvent records one published assignment.
+type ReassignEvent struct {
+	At        sim.Time
+	AssignID  int64
+	UsedNodes int
+	UsedSlots int
+}
+
+// TopologyMetrics collects a topology's runtime measurements. The paper's
+// primary metric — average tuple processing time, reported as 1-minute
+// averages — is the Latency series (samples in milliseconds, recorded at
+// the spout when the acker confirms full processing).
+type TopologyMetrics struct {
+	// Latency holds per-completion processing times in milliseconds.
+	Latency *metrics.Series
+	// LatencyHist is the same signal as a log-bucketed histogram, for
+	// percentile reporting (p50/p99).
+	LatencyHist *metrics.Histogram
+	// Failures holds timeout events (value 1 per failed root).
+	Failures *metrics.Series
+	// NodesInUse steps with each published assignment.
+	NodesInUse metrics.StepSeries
+	// Reassignments lists every published assignment.
+	Reassignments []ReassignEvent
+
+	// RootsEmitted counts anchored spout emissions.
+	RootsEmitted int64
+	// Completions counts fully processed roots (including late ones).
+	Completions int64
+	// LateCompletions counts roots completed after their timeout fired.
+	LateCompletions int64
+	// Failed counts roots that hit the ack timeout.
+	Failed int64
+	// Dropped counts messages discarded because no live worker could
+	// accept them (worker restarts, stale routes).
+	Dropped int64
+	// WorkerCrashes counts worker processes killed by fault injection.
+	WorkerCrashes int64
+	// RescueReassignments counts assignments published by Nimbus's
+	// failure detector after a node death.
+	RescueReassignments int64
+	// Components aggregates per-component execution counters.
+	Components map[string]*ComponentStats
+}
+
+// Component returns (allocating if needed) the named component's stats.
+func (tm *TopologyMetrics) Component(name string) *ComponentStats {
+	cs := tm.Components[name]
+	if cs == nil {
+		cs = &ComponentStats{}
+		tm.Components[name] = cs
+	}
+	return cs
+}
+
+func newTopologyMetrics(bucket time.Duration) *TopologyMetrics {
+	return &TopologyMetrics{
+		Latency:     metrics.NewSeries(bucket),
+		LatencyHist: metrics.NewLatencyHistogram(),
+		Failures:    metrics.NewSeries(bucket),
+		Components:  make(map[string]*ComponentStats),
+	}
+}
+
+// MeanLatencyAfter is the average processing time (ms) counting samples at
+// or after t — the paper's "counting averages after stabilization".
+func (tm *TopologyMetrics) MeanLatencyAfter(t sim.Time) float64 {
+	return tm.Latency.MeanAfter(t)
+}

@@ -1,0 +1,114 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"tstorm/internal/sim"
+)
+
+// seriesMarks are the plotting symbols, assigned to series in order.
+var seriesMarks = []byte{'*', 'o', '+', 'x', '#', '@', '%'}
+
+// Chart renders the figure's series as an ASCII line chart: columns are
+// the shared minute buckets, rows the (optionally log-scaled) value axis —
+// a terminal rendition of the paper's plots.
+func (f *Figure) Chart(w io.Writer, height int, logScale bool) error {
+	if height < 4 {
+		height = 4
+	}
+	if len(f.Series) == 0 {
+		_, err := io.WriteString(w, "(no series)\n")
+		return err
+	}
+
+	// Collect shared time buckets and values.
+	bucketSet := map[sim.Time]bool{}
+	vals := make([]map[sim.Time]float64, len(f.Series))
+	for i, s := range f.Series {
+		vals[i] = make(map[sim.Time]float64, len(s.Points))
+		for _, p := range s.Points {
+			bucketSet[p.Start] = true
+			vals[i][p.Start] = p.Mean
+		}
+	}
+	times := make([]sim.Time, 0, len(bucketSet))
+	for t := range bucketSet {
+		times = append(times, t)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+
+	scale := func(v float64) (float64, bool) {
+		if logScale {
+			if v <= 0 {
+				return 0, false
+			}
+			return math.Log10(v), true
+		}
+		return v, true
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := range f.Series {
+		for _, v := range vals[i] {
+			if sv, ok := scale(v); ok {
+				lo = math.Min(lo, sv)
+				hi = math.Max(hi, sv)
+			}
+		}
+	}
+	if math.IsInf(lo, 1) {
+		_, err := io.WriteString(w, "(no plottable values)\n")
+		return err
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", len(times)))
+	}
+	for i := range f.Series {
+		mark := seriesMarks[i%len(seriesMarks)]
+		for c, t := range times {
+			v, ok := vals[i][t]
+			if !ok {
+				continue
+			}
+			sv, ok := scale(v)
+			if !ok {
+				continue
+			}
+			row := int((sv - lo) / (hi - lo) * float64(height-1))
+			r := height - 1 - row
+			grid[r][c] = mark
+		}
+	}
+
+	var b strings.Builder
+	axisLabel := func(frac float64) float64 {
+		v := lo + frac*(hi-lo)
+		if logScale {
+			return math.Pow(10, v)
+		}
+		return v
+	}
+	for r := 0; r < height; r++ {
+		frac := float64(height-1-r) / float64(height-1)
+		fmt.Fprintf(&b, "%10.2f |%s|\n", axisLabel(frac), string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%10s +%s+\n", "", strings.Repeat("-", len(times)))
+	fmt.Fprintf(&b, "%10s  t=%.0fs%*s t=%.0fs\n", "",
+		times[0].Seconds(), max(1, len(times)-12), "", times[len(times)-1].Seconds())
+	for i, s := range f.Series {
+		fmt.Fprintf(&b, "%10s  %c %s\n", "", seriesMarks[i%len(seriesMarks)], s.Label)
+	}
+	if logScale {
+		fmt.Fprintf(&b, "%10s  (log-scale y, ms)\n", "")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

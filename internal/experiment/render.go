@@ -1,0 +1,128 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"tstorm/internal/sim"
+)
+
+// Render writes a human-readable report of the figure: the summary table,
+// the latency series as aligned columns (one row per minute bucket), node
+// annotations and notes.
+func (f *Figure) Render(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString(f.Title + "\n")
+	b.WriteString(strings.Repeat("=", len(f.Title)) + "\n\n")
+
+	if len(f.Summary) > 0 {
+		metricW, paperW := len("metric"), len("paper")
+		for _, r := range f.Summary {
+			metricW = max(metricW, len(r.Metric))
+			paperW = max(paperW, len(r.Paper))
+		}
+		fmt.Fprintf(&b, "%-*s  %-*s  %s\n", metricW, "metric", paperW, "paper", "measured")
+		fmt.Fprintf(&b, "%s  %s  %s\n", strings.Repeat("-", metricW),
+			strings.Repeat("-", paperW), strings.Repeat("-", len("measured")))
+		for _, r := range f.Summary {
+			fmt.Fprintf(&b, "%-*s  %-*s  %s\n", metricW, r.Metric, paperW, r.Paper, r.Measured)
+		}
+		b.WriteString("\n")
+	}
+
+	if len(f.Series) > 0 {
+		b.WriteString(f.seriesTable())
+		b.WriteString("\n")
+	}
+
+	for _, label := range sortedStepLabels(f.NodeSteps) {
+		fmt.Fprintf(&b, "nodes(%s):", label)
+		for _, s := range f.NodeSteps[label] {
+			fmt.Fprintf(&b, " %gs→%g", s.At.Seconds(), s.Value)
+		}
+		b.WriteString("\n")
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func sortedStepLabels[T any](m map[string]T) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// seriesTable aligns all series on shared minute buckets.
+func (f *Figure) seriesTable() string {
+	type key = sim.Time
+	buckets := map[key]bool{}
+	values := make([]map[key]float64, len(f.Series))
+	for i, s := range f.Series {
+		values[i] = make(map[key]float64, len(s.Points))
+		for _, p := range s.Points {
+			buckets[p.Start] = true
+			values[i][p.Start] = p.Mean
+		}
+	}
+	times := make([]key, 0, len(buckets))
+	for t := range buckets {
+		times = append(times, t)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s", "t(s)")
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "  %14s", truncate(s.Label, 14))
+	}
+	b.WriteString("\n")
+	for _, t := range times {
+		fmt.Fprintf(&b, "%8.0f", t.Seconds())
+		for i := range f.Series {
+			if v, ok := values[i][t]; ok {
+				fmt.Fprintf(&b, "  %14.3f", v)
+			} else {
+				fmt.Fprintf(&b, "  %14s", "-")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}
+
+// CSV writes the figure's series in long form:
+// figure,series,t_seconds,mean,count,max.
+func (f *Figure) CSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("figure,series,t_seconds,mean,count,max\n")
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "%s,%s,%.0f,%.6f,%d,%.6f\n",
+				f.ID, csvEscape(s.Label), p.Start.Seconds(), p.Mean, p.Count, p.Max)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

@@ -1,0 +1,63 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestAggregate(t *testing.T) {
+	a := aggregate([]float64{2, 4, 6})
+	if a.Mean != 4 || a.Min != 2 || a.Max != 6 || a.N != 3 {
+		t.Fatalf("aggregate = %+v", a)
+	}
+	if math.Abs(a.StdDev-2) > 1e-9 {
+		t.Fatalf("stddev = %v, want 2", a.StdDev)
+	}
+	one := aggregate([]float64{5})
+	if one.StdDev != 0 || one.Mean != 5 {
+		t.Fatalf("single-sample aggregate = %+v", one)
+	}
+	if aggregate(nil).N != 0 {
+		t.Fatal("empty aggregate not zero")
+	}
+	if got := a.String(); got != "4.000 ± 2.000 (n=3)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestRunSeedsConsistency(t *testing.T) {
+	cfg := Config{
+		Name: "seeds", Workload: WorkloadChain, Scheduler: SchedTStorm,
+		Gamma: 2, Nodes: 3, Duration: 120 * time.Second,
+	}
+	mr, err := RunSeeds(cfg, []uint64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mr.Runs) != 3 || mr.StableMean.N != 3 {
+		t.Fatalf("runs = %d", len(mr.Runs))
+	}
+	if mr.StableMean.Mean <= 0 {
+		t.Fatalf("mean latency %v", mr.StableMean.Mean)
+	}
+	// Seed sensitivity should be small relative to the mean on this
+	// deterministic workload.
+	if mr.StableMean.StdDev > mr.StableMean.Mean {
+		t.Fatalf("across-seed stddev %v exceeds mean %v", mr.StableMean.StdDev, mr.StableMean.Mean)
+	}
+	if _, err := RunSeeds(cfg, nil); err == nil {
+		t.Fatal("empty seed list accepted")
+	}
+	// Same seed twice → identical results.
+	mr2, err := RunSeeds(cfg, []uint64{7, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr2.Runs[0].StableMean != mr2.Runs[1].StableMean {
+		t.Fatal("same seed produced different results")
+	}
+	if mr2.StableMean.StdDev != 0 {
+		t.Fatalf("identical runs have stddev %v", mr2.StableMean.StdDev)
+	}
+}

@@ -1,0 +1,27 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"tstorm/internal/metrics"
+)
+
+// The paper's load estimator: Y = αY + (1−α)·Sample with α = 0.5.
+func ExampleEWMA() {
+	est := metrics.NewEWMA(0.5)
+	for _, sample := range []float64{100, 200, 100} {
+		est.Update(sample)
+	}
+	fmt.Printf("%.1f MHz\n", est.Value())
+	// Output: 125.0 MHz
+}
+
+func ExampleHistogram_Quantile() {
+	h := metrics.NewLatencyHistogram()
+	for v := 1.0; v <= 100; v++ {
+		h.Add(v)
+	}
+	fmt.Printf("count=%d p99 within [90,110]: %v\n",
+		h.Count(), h.Quantile(0.99) >= 90 && h.Quantile(0.99) <= 110)
+	// Output: count=100 p99 within [90,110]: true
+}

@@ -1,0 +1,87 @@
+// Package monitor implements the paper's load monitors (§IV-B): daemons
+// that every sampling period (20 s) read each executor's CPU time and the
+// inter-executor tuple counts, convert them to instantaneous rates, smooth
+// them with the EWMA Y = αY + (1−α)·Sample, and store the estimates into
+// the load database for the schedule generator.
+package monitor
+
+import (
+	"time"
+
+	"tstorm/internal/engine"
+	"tstorm/internal/loaddb"
+	"tstorm/internal/metrics"
+	"tstorm/internal/sim"
+)
+
+// DefaultPeriod is the paper's load-monitoring and estimation period.
+const DefaultPeriod = 20 * time.Second
+
+// Fleet drives the per-node load monitors of a simulated cluster. One
+// Fleet object samples the whole runtime (equivalent to a monitor daemon
+// per node, since sampling is node-local reads of executor counters).
+type Fleet struct {
+	rt     *engine.Runtime
+	db     *loaddb.DB
+	period time.Duration
+	ticker *sim.Ticker
+	// knownFlows tracks pairs ever seen so silent pairs decay toward 0
+	// instead of freezing at their last estimate.
+	knownFlows map[metrics.Pair]bool
+	samples    int
+}
+
+// Start creates the fleet and schedules sampling every period on the
+// runtime's simulation engine. The first sample is taken one full period
+// after start.
+func Start(rt *engine.Runtime, db *loaddb.DB, period time.Duration) *Fleet {
+	if period <= 0 {
+		period = DefaultPeriod
+	}
+	f := &Fleet{
+		rt:         rt,
+		db:         db,
+		period:     period,
+		knownFlows: make(map[metrics.Pair]bool),
+	}
+	f.ticker = rt.Sim().Every(period, period, f.Sample)
+	return f
+}
+
+// Stop halts sampling.
+func (f *Fleet) Stop() {
+	if f.ticker != nil {
+		f.ticker.Stop()
+	}
+}
+
+// Samples reports how many sampling rounds have run.
+func (f *Fleet) Samples() int { return f.samples }
+
+// Period returns the sampling period.
+func (f *Fleet) Period() time.Duration { return f.period }
+
+// Sample performs one sampling round: drain CPU counters and the traffic
+// matrix, convert to MHz and tuples/s, and update the database.
+func (f *Fleet) Sample() {
+	f.samples++
+	secs := f.period.Seconds()
+
+	for _, s := range f.rt.DrainLoadSamples() {
+		// cycles over the window → MHz (1 MHz = 1e6 cycles/s).
+		mhz := s.Cycles / secs / 1e6
+		f.db.UpdateExecutorLoad(s.Exec, mhz)
+	}
+
+	flows := f.rt.DrainTraffic()
+	for p, count := range flows {
+		f.knownFlows[p] = true
+		f.db.UpdateTraffic(f.rt.ExecutorByDense(p.From), f.rt.ExecutorByDense(p.To), count/secs)
+	}
+	// Pairs that were active before but silent this window decay to 0.
+	for p := range f.knownFlows {
+		if _, active := flows[p]; !active {
+			f.db.UpdateTraffic(f.rt.ExecutorByDense(p.From), f.rt.ExecutorByDense(p.To), 0)
+		}
+	}
+}

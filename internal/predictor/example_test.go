@@ -1,0 +1,18 @@
+package predictor_test
+
+import (
+	"fmt"
+
+	"tstorm/internal/predictor"
+)
+
+// Holt double-exponential smoothing forecasts one monitoring period
+// ahead, reacting to ramps faster than the paper's EWMA.
+func ExampleHolt() {
+	h := predictor.NewHolt(0.8, 0.5)
+	for _, mhz := range []float64{100, 200, 300, 400} {
+		h.Update(mhz)
+	}
+	fmt.Printf("forecast beyond the last sample: %v\n", h.Value() > 400)
+	// Output: forecast beyond the last sample: true
+}

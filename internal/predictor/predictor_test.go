@@ -1,0 +1,197 @@
+package predictor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func feed(e Estimator, samples ...float64) Estimator {
+	for _, s := range samples {
+		e.Update(s)
+	}
+	return e
+}
+
+func TestEWMAMatchesPaperFormula(t *testing.T) {
+	e := feed(NewEWMA(0.5), 10, 20, 0)
+	if got := e.Value(); got != 7.5 {
+		t.Fatalf("EWMA = %v, want 7.5", got)
+	}
+	if EWMAFactory(0.5)() == nil {
+		t.Fatal("factory returned nil")
+	}
+}
+
+func TestSlidingMean(t *testing.T) {
+	s := NewSlidingMean(3)
+	if s.Value() != 0 {
+		t.Fatal("empty window not 0")
+	}
+	feed(s, 3)
+	if s.Value() != 3 {
+		t.Fatalf("partial window mean = %v, want 3", s.Value())
+	}
+	feed(s, 6, 9)
+	if s.Value() != 6 {
+		t.Fatalf("full window mean = %v, want 6", s.Value())
+	}
+	feed(s, 12) // evicts 3
+	if s.Value() != 9 {
+		t.Fatalf("rolled mean = %v, want 9", s.Value())
+	}
+	if SlidingMeanFactory(4)() == nil {
+		t.Fatal("factory returned nil")
+	}
+}
+
+func TestSlidingMeanBadWindowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewSlidingMean(0) did not panic")
+		}
+	}()
+	NewSlidingMean(0)
+}
+
+func TestHoltTracksRampsAheadOfEWMA(t *testing.T) {
+	// Load ramps 100, 200, ..., 1000. Holt forecasts the next step;
+	// EWMA lags behind the latest sample.
+	h := NewHolt(0.8, 0.5)
+	e := NewEWMA(0.5)
+	last := 0.0
+	for v := 100.0; v <= 1000; v += 100 {
+		h.Update(v)
+		e.Update(v)
+		last = v
+	}
+	if h.Value() <= last {
+		t.Fatalf("Holt forecast %v does not extrapolate past %v", h.Value(), last)
+	}
+	if e.Value() >= last {
+		t.Fatalf("EWMA %v should lag the ramp peak %v", e.Value(), last)
+	}
+	// On the ramp, Holt's forecast error for the NEXT value (1100) is
+	// smaller than EWMA's.
+	holtErr := math.Abs(h.Value() - 1100)
+	ewmaErr := math.Abs(e.Value() - 1100)
+	if holtErr >= ewmaErr {
+		t.Fatalf("Holt error %v not below EWMA error %v on a ramp", holtErr, ewmaErr)
+	}
+}
+
+func TestHoltNeverNegative(t *testing.T) {
+	h := feed(NewHolt(0.9, 0.9), 1000, 500, 10, 0, 0)
+	if h.Value() < 0 {
+		t.Fatalf("Holt forecast negative: %v", h.Value())
+	}
+}
+
+func TestHoltFewSamples(t *testing.T) {
+	h := NewHolt(0.5, 0.5)
+	h.Update(10)
+	if h.Value() != 10 {
+		t.Fatalf("one-sample Holt = %v, want 10", h.Value())
+	}
+	h.Update(20)
+	if h.Value() != 30 { // level 20 + trend 10
+		t.Fatalf("two-sample Holt = %v, want 30", h.Value())
+	}
+	if HoltFactory(0.5, 0.5)() == nil {
+		t.Fatal("factory returned nil")
+	}
+}
+
+func TestHoltBadGainsPanic(t *testing.T) {
+	for _, g := range [][2]float64{{0, 0.5}, {0.5, 0}, {1.1, 0.5}, {0.5, 1.1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHolt(%v, %v) did not panic", g[0], g[1])
+				}
+			}()
+			NewHolt(g[0], g[1])
+		}()
+	}
+}
+
+func TestWindowMax(t *testing.T) {
+	w := NewWindowMax(3)
+	if w.Value() != 0 {
+		t.Fatal("empty max not 0")
+	}
+	feed(w, 5, 9, 2)
+	if w.Value() != 9 {
+		t.Fatalf("max = %v, want 9", w.Value())
+	}
+	feed(w, 1) // evicts 5
+	if w.Value() != 9 {
+		t.Fatalf("max = %v, want 9", w.Value())
+	}
+	feed(w, 1) // evicts 9
+	if w.Value() != 2 {
+		t.Fatalf("max after eviction = %v, want 2", w.Value())
+	}
+	if WindowMaxFactory(2)() == nil {
+		t.Fatal("factory returned nil")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewWindowMax(0) did not panic")
+			}
+		}()
+		NewWindowMax(0)
+	}()
+}
+
+// Property: the averaging estimators stay within [min, max] of their
+// inputs; WindowMax stays within the window's actual max.
+func TestPropertyEstimatesBounded(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		ests := []Estimator{NewEWMA(0.5), NewSlidingMean(4), NewWindowMax(4)}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, r := range raw {
+			v := float64(r)
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+			for _, e := range ests {
+				e.Update(v)
+			}
+		}
+		for _, e := range ests[:2] {
+			if e.Value() < lo-1e-9 || e.Value() > hi+1e-9 {
+				return false
+			}
+		}
+		return ests[2].Value() <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: on a constant signal every estimator converges to it.
+func TestPropertyConstantSignalConverges(t *testing.T) {
+	f := func(v uint16) bool {
+		c := float64(v)
+		ests := []Estimator{NewEWMA(0.5), NewSlidingMean(3), NewHolt(0.5, 0.5), NewWindowMax(3)}
+		for i := 0; i < 50; i++ {
+			for _, e := range ests {
+				e.Update(c)
+			}
+		}
+		for _, e := range ests {
+			if math.Abs(e.Value()-c) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,121 @@
+package redisq
+
+import (
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+func TestPushPopFIFO(t *testing.T) {
+	s := NewServer()
+	if n := s.RPush("q", "a", "b", "c"); n != 3 {
+		t.Fatalf("RPush len = %d, want 3", n)
+	}
+	for _, want := range []string{"a", "b", "c"} {
+		got, ok := s.LPop("q")
+		if !ok || got != want {
+			t.Fatalf("LPop = (%q, %v), want %q", got, ok, want)
+		}
+	}
+	if _, ok := s.LPop("q"); ok {
+		t.Fatal("LPop on empty list returned a value")
+	}
+}
+
+func TestLLenAndCounters(t *testing.T) {
+	s := NewServer()
+	s.RPush("q", "a", "b")
+	if s.LLen("q") != 2 {
+		t.Fatalf("LLen = %d, want 2", s.LLen("q"))
+	}
+	s.LPop("q")
+	if s.Pushed("q") != 2 || s.Popped("q") != 1 {
+		t.Fatalf("Pushed=%d Popped=%d, want 2,1", s.Pushed("q"), s.Popped("q"))
+	}
+	if s.LLen("missing") != 0 {
+		t.Fatal("LLen of missing key should be 0")
+	}
+}
+
+func TestBLPopImmediateWhenAvailable(t *testing.T) {
+	s := NewServer()
+	s.RPush("q", "x")
+	var got string
+	s.BLPop("q", func(v string) { got = v })
+	if got != "x" {
+		t.Fatalf("BLPop delivered %q, want x", got)
+	}
+	if s.LLen("q") != 0 {
+		t.Fatal("value not consumed")
+	}
+}
+
+func TestBLPopBlocksUntilPush(t *testing.T) {
+	s := NewServer()
+	var got []string
+	s.BLPop("q", func(v string) { got = append(got, v) })
+	s.BLPop("q", func(v string) { got = append(got, v) })
+	if len(got) != 0 {
+		t.Fatal("waiters fired before any push")
+	}
+	s.RPush("q", "first", "second", "third")
+	if len(got) != 2 || got[0] != "first" || got[1] != "second" {
+		t.Fatalf("waiters received %v", got)
+	}
+	// Remaining value stays on the list.
+	if v, ok := s.LPop("q"); !ok || v != "third" {
+		t.Fatalf("leftover = (%q, %v)", v, ok)
+	}
+}
+
+func TestIndependentKeys(t *testing.T) {
+	s := NewServer()
+	s.RPush("a", "1")
+	s.RPush("b", "2")
+	if v, _ := s.LPop("b"); v != "2" {
+		t.Fatalf("cross-key interference: got %q", v)
+	}
+}
+
+// Property: every pushed value is popped exactly once, in push order,
+// regardless of how pops interleave between LPop and BLPop.
+func TestPropertyFIFOConservation(t *testing.T) {
+	f := func(ops []bool) bool {
+		s := NewServer()
+		var delivered []string
+		pushes := 0
+		for i, blocking := range ops {
+			v := strconv.Itoa(i)
+			if blocking {
+				s.BLPop("q", func(x string) { delivered = append(delivered, x) })
+			}
+			s.RPush("q", v)
+			pushes++
+			if !blocking {
+				if x, ok := s.LPop("q"); ok {
+					delivered = append(delivered, x)
+				}
+			}
+		}
+		// Drain the rest.
+		for {
+			x, ok := s.LPop("q")
+			if !ok {
+				break
+			}
+			delivered = append(delivered, x)
+		}
+		if len(delivered) != pushes {
+			return false
+		}
+		for i, v := range delivered {
+			if v != strconv.Itoa(i) {
+				return false
+			}
+		}
+		return s.Popped("q") == int64(pushes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

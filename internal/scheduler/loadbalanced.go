@@ -1,0 +1,108 @@
+package scheduler
+
+import (
+	"fmt"
+	"sort"
+
+	"tstorm/internal/cluster"
+	"tstorm/internal/loaddb"
+	"tstorm/internal/topology"
+)
+
+// LoadBalanced is a traffic-blind ablation baseline: it uses the same
+// runtime workload information as Algorithm 1 and the same
+// one-slot-per-topology-per-node rule, but places each executor on the
+// least-loaded node instead of minimizing inter-node traffic. Comparing
+// it against T-Storm isolates the value of traffic-awareness itself from
+// the value of load-aware consolidation.
+type LoadBalanced struct{}
+
+var _ Algorithm = LoadBalanced{}
+
+// Name returns "load-balanced".
+func (LoadBalanced) Name() string { return "load-balanced" }
+
+// Schedule places executors (heaviest first) on the currently
+// least-loaded node, one slot per topology per node.
+func (LoadBalanced) Schedule(in *Input) (*cluster.Assignment, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	load := in.Load
+	if load == nil {
+		load = &loaddb.Snapshot{}
+	}
+	var execs []topology.ExecutorID
+	for _, top := range in.Topologies {
+		execs = append(execs, top.Executors()...)
+	}
+	// Heaviest first: the classic LPT greedy for makespan balance.
+	sort.SliceStable(execs, func(i, j int) bool {
+		li, lj := load.ExecLoad[execs[i]], load.ExecLoad[execs[j]]
+		if li != lj {
+			return li > lj
+		}
+		return execs[i].Less(execs[j])
+	})
+
+	free := in.FreeSlots()
+	freeByNode := make(map[cluster.NodeID][]cluster.SlotID)
+	var nodes []cluster.NodeID
+	for _, s := range free {
+		if len(freeByNode[s.Node]) == 0 {
+			nodes = append(nodes, s.Node)
+		}
+		freeByNode[s.Node] = append(freeByNode[s.Node], s)
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("scheduler: no free slots")
+	}
+
+	a := cluster.NewAssignment(0)
+	nodeLoad := make(map[cluster.NodeID]float64)
+	topoSlot := make(map[cluster.NodeID]map[string]cluster.SlotID)
+	slotTaken := make(map[cluster.SlotID]bool)
+	for _, e := range execs {
+		// Least-loaded node first; stable tie-break by node order.
+		best := -1
+		for i, n := range nodes {
+			if _, has := topoSlot[n][e.Topology]; !has {
+				// Needs a fresh slot on this node.
+				avail := false
+				for _, s := range freeByNode[n] {
+					if !slotTaken[s] {
+						avail = true
+						break
+					}
+				}
+				if !avail {
+					continue
+				}
+			}
+			if best < 0 || nodeLoad[n] < nodeLoad[nodes[best]] {
+				best = i
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("scheduler: no slot for executor %v", e)
+		}
+		n := nodes[best]
+		slot, has := topoSlot[n][e.Topology]
+		if !has {
+			for _, s := range freeByNode[n] {
+				if !slotTaken[s] {
+					slot = s
+					break
+				}
+			}
+			slotTaken[slot] = true
+			if topoSlot[n] == nil {
+				topoSlot[n] = make(map[string]cluster.SlotID)
+			}
+			topoSlot[n][e.Topology] = slot
+		}
+		a.Assign(e, slot)
+		nodeLoad[n] += load.ExecLoad[e]
+	}
+	return a, nil
+}

@@ -1,0 +1,140 @@
+// Package scheduler defines the scheduling framework — the input model
+// (topologies, load snapshot, cluster, occupied slots), the Algorithm
+// interface, and a registry enabling hot-swapping by name — plus the
+// baseline schedulers the paper compares against: Storm's default
+// round-robin scheduler, T-Storm's modified initial scheduler, and the
+// offline/online schedulers of Aniello et al. (DEBS'13).
+//
+// The paper's own contribution, the traffic-aware online algorithm
+// (Algorithm 1), lives in internal/core.
+package scheduler
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"tstorm/internal/cluster"
+	"tstorm/internal/loaddb"
+	"tstorm/internal/topology"
+)
+
+// Input carries everything a scheduling algorithm may use.
+type Input struct {
+	// Topologies are the applications being (re-)scheduled.
+	Topologies []*topology.Topology
+	// Cluster is the physical cluster.
+	Cluster *cluster.Cluster
+	// Load is the smoothed runtime load snapshot (may be empty for
+	// offline algorithms or initial scheduling).
+	Load *loaddb.Snapshot
+	// Occupied marks slots unavailable because another topology (not in
+	// Topologies) owns them.
+	Occupied map[cluster.SlotID]bool
+	// CapacityFraction scales each node's usable CPU capacity (the
+	// paper's advice to set C_k below physical capacity); 0 means 1.0.
+	CapacityFraction float64
+}
+
+// NumExecutors is the paper's N_e: executors across all input topologies.
+func (in *Input) NumExecutors() int {
+	n := 0
+	for _, t := range in.Topologies {
+		n += t.NumExecutors()
+	}
+	return n
+}
+
+// FreeSlots returns all slots not marked occupied, in deterministic
+// node-major order.
+func (in *Input) FreeSlots() []cluster.SlotID {
+	var out []cluster.SlotID
+	for _, s := range in.Cluster.Slots() {
+		if !in.Occupied[s] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// InterleavedFreeSlots returns the free slots ordered port-major (all
+// nodes' first ports, then all second ports, ...), the order Storm's even
+// scheduler effectively fills slots in.
+func (in *Input) InterleavedFreeSlots() []cluster.SlotID {
+	free := in.FreeSlots()
+	sort.SliceStable(free, func(i, j int) bool {
+		if free[i].Port != free[j].Port {
+			return free[i].Port < free[j].Port
+		}
+		return free[i].Node < free[j].Node
+	})
+	return free
+}
+
+// Validate checks the input.
+func (in *Input) Validate() error {
+	if len(in.Topologies) == 0 {
+		return fmt.Errorf("scheduler: no topologies")
+	}
+	if in.Cluster == nil {
+		return fmt.Errorf("scheduler: no cluster")
+	}
+	if in.CapacityFraction < 0 || in.CapacityFraction > 1 {
+		return fmt.Errorf("scheduler: capacity fraction %v out of (0,1]", in.CapacityFraction)
+	}
+	return nil
+}
+
+// Algorithm computes an executor-to-slot assignment for every executor of
+// every input topology.
+type Algorithm interface {
+	Name() string
+	Schedule(in *Input) (*cluster.Assignment, error)
+}
+
+// Registry maps algorithm names to instances, enabling hot-swap by name.
+// It is safe for concurrent use.
+type Registry struct {
+	mu    sync.Mutex
+	algos map[string]Algorithm
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{algos: make(map[string]Algorithm)}
+}
+
+// Register adds or replaces an algorithm under its Name.
+func (r *Registry) Register(a Algorithm) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.algos[a.Name()] = a
+}
+
+// Get looks an algorithm up by name.
+func (r *Registry) Get(name string) (Algorithm, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	a, ok := r.algos[name]
+	return a, ok
+}
+
+// Names lists registered algorithm names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.algos))
+	for n := range r.algos {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// assignRoundRobin distributes executors over the given worker slots in
+// round-robin order.
+func assignRoundRobin(a *cluster.Assignment, execs []topology.ExecutorID, slots []cluster.SlotID) {
+	for i, e := range execs {
+		a.Assign(e, slots[i%len(slots)])
+	}
+}

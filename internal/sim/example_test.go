@@ -1,0 +1,22 @@
+package sim_test
+
+import (
+	"fmt"
+	"time"
+
+	"tstorm/internal/sim"
+)
+
+// Events execute in virtual-time order on a single goroutine; a 1000 s
+// experiment finishes in wall-clock milliseconds.
+func ExampleEngine() {
+	eng := sim.NewEngine(1)
+	eng.After(3*time.Second, func() { fmt.Println("later at", eng.Now()) })
+	eng.After(time.Second, func() { fmt.Println("first at", eng.Now()) })
+	if err := eng.Run(); err != nil {
+		panic(err)
+	}
+	// Output:
+	// first at 1s
+	// later at 3s
+}

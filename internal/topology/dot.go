@@ -1,0 +1,54 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the topology as a Graphviz digraph: spouts as double
+// circles, bolts as boxes, edges labelled with their grouping. Useful for
+// documentation and for eyeballing what a scheduler is optimizing.
+func (t *Topology) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", t.name)
+	b.WriteString("  rankdir=LR;\n")
+	for _, name := range t.order {
+		c := t.components[name]
+		shape := "box"
+		if c.Kind == SpoutKind {
+			shape = "doublecircle"
+		}
+		label := fmt.Sprintf("%s\\nx%d", name, c.Parallelism)
+		if name == AckerComponent {
+			label = fmt.Sprintf("acker\\nx%d", c.Parallelism)
+		}
+		fmt.Fprintf(&b, "  %q [shape=%s,label=\"%s\"];\n", name, shape, label)
+	}
+	// Deterministic edge order.
+	type edge struct{ from, to, label string }
+	var edges []edge
+	for _, name := range t.order {
+		for _, g := range t.components[name].Inputs {
+			label := g.Type.String()
+			if g.Type == FieldsGrouping {
+				label += "(" + strings.Join(g.FieldNames, ",") + ")"
+			}
+			if g.SourceStream != DefaultStream {
+				label += " [" + g.SourceStream + "]"
+			}
+			edges = append(edges, edge{from: g.SourceComponent, to: name, label: label})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		return edges[i].to < edges[j].to
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "  %q -> %q [label=\"%s\"];\n", e.from, e.to, e.label)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

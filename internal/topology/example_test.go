@@ -1,0 +1,28 @@
+package topology_test
+
+import (
+	"fmt"
+
+	"tstorm/internal/topology"
+)
+
+// A topology is a directed graph of spouts and bolts; the builder
+// validates groupings against declared stream schemas.
+func ExampleBuilder() {
+	b := topology.NewBuilder("wordcount", 20)
+	b.SetAckers(1)
+	b.Spout("reader", 2).Output("default", "line")
+	b.Bolt("split", 4).Shuffle("reader").Output("default", "word")
+	b.Bolt("count", 4).Fields("split", "word")
+	top, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("executors:", top.NumExecutors())
+	for _, edge := range top.Consumers("split", topology.DefaultStream) {
+		fmt.Printf("%s consumes split via %s\n", edge.Consumer, edge.Grouping.Type)
+	}
+	// Output:
+	// executors: 11
+	// count consumes split via fields
+}

@@ -1,0 +1,138 @@
+// Package trace records structured runtime events — worker lifecycle,
+// assignment publications, overload detections, failures, message drops —
+// so experiments and operators can reconstruct *why* the cluster behaved
+// as it did. The recorder is a bounded ring buffer with optional live
+// subscribers; tracing is off unless a recorder is attached.
+package trace
+
+import (
+	"fmt"
+	"sync"
+
+	"tstorm/internal/sim"
+)
+
+// Kind classifies an event.
+type Kind string
+
+// Event kinds emitted by the engine and the scheduling layer.
+const (
+	WorkerStarted       Kind = "worker-started"
+	WorkerStopping      Kind = "worker-stopping"
+	WorkerKilled        Kind = "worker-killed"
+	AssignmentPublished Kind = "assignment-published"
+	MessageDropped      Kind = "message-dropped"
+	OverloadDetected    Kind = "overload-detected"
+	NodeFailed          Kind = "node-failed"
+	NodeRecovered       Kind = "node-recovered"
+	RescuePublished     Kind = "rescue-published"
+	TopologyKilled      Kind = "topology-killed"
+	ScheduleGenerated   Kind = "schedule-generated"
+	AlgorithmSwapped    Kind = "algorithm-swapped"
+)
+
+// Event is one recorded occurrence.
+type Event struct {
+	At       sim.Time
+	Kind     Kind
+	Topology string
+	// Where names the node/slot involved, when applicable.
+	Where string
+	// Detail is a short human-readable elaboration.
+	Detail string
+}
+
+// String renders "t=123.4s kind topo@where: detail".
+func (e Event) String() string {
+	s := fmt.Sprintf("t=%.1fs %s", e.At.Seconds(), e.Kind)
+	if e.Topology != "" {
+		s += " " + e.Topology
+	}
+	if e.Where != "" {
+		s += "@" + e.Where
+	}
+	if e.Detail != "" {
+		s += ": " + e.Detail
+	}
+	return s
+}
+
+// Recorder is a bounded, thread-safe event sink.
+type Recorder struct {
+	mu      sync.Mutex
+	ring    []Event
+	next    int
+	filled  int
+	dropped int64
+	subs    []func(Event)
+}
+
+// NewRecorder returns a recorder keeping the most recent capacity events.
+func NewRecorder(capacity int) *Recorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Recorder{ring: make([]Event, capacity)}
+}
+
+// Emit records an event and notifies subscribers. When the ring is full
+// the oldest event is overwritten and counted as dropped.
+func (r *Recorder) Emit(ev Event) {
+	r.mu.Lock()
+	if r.filled == len(r.ring) {
+		r.dropped++
+	} else {
+		r.filled++
+	}
+	r.ring[r.next] = ev
+	r.next = (r.next + 1) % len(r.ring)
+	subs := r.subs
+	r.mu.Unlock()
+	for _, fn := range subs {
+		fn(ev)
+	}
+}
+
+// Subscribe registers a live callback, invoked synchronously on Emit.
+func (r *Recorder) Subscribe(fn func(Event)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.subs = append(r.subs, fn)
+}
+
+// Events returns the retained events, oldest first.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, r.filled)
+	start := (r.next - r.filled + len(r.ring)) % len(r.ring)
+	for i := 0; i < r.filled; i++ {
+		out = append(out, r.ring[(start+i)%len(r.ring)])
+	}
+	return out
+}
+
+// Filter returns the retained events of one kind, oldest first.
+func (r *Recorder) Filter(kind Kind) []Event {
+	var out []Event
+	for _, ev := range r.Events() {
+		if ev.Kind == kind {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Dropped reports how many events were evicted from the ring.
+func (r *Recorder) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Len reports how many events are retained.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.filled
+}

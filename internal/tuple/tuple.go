@@ -1,0 +1,137 @@
+// Package tuple defines the unit of data flowing through a topology: the
+// Tuple, its Values payload, per-stream field schemas used by fields
+// grouping, and the 64-bit message IDs used by the XOR ack protocol.
+package tuple
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+)
+
+// ID is a Storm-style 64-bit message identifier. Spout tuples get a random
+// non-zero root ID; every emitted edge gets its own random edge ID, and the
+// acker tracks the XOR of all edge IDs per root.
+type ID uint64
+
+// Values is the payload of a tuple: a positional list of values whose
+// meaning is given by the producing stream's Fields schema.
+type Values []any
+
+// Fields is the schema of a stream: ordered field names.
+type Fields []string
+
+// Index returns the position of the named field.
+func (f Fields) Index(name string) (int, bool) {
+	for i, n := range f {
+		if n == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Contains reports whether the schema has the named field.
+func (f Fields) Contains(name string) bool {
+	_, ok := f.Index(name)
+	return ok
+}
+
+// Tuple is one message travelling between two executors. Tuples are
+// immutable once emitted; bolts produce new tuples rather than mutating
+// received ones.
+type Tuple struct {
+	// Root is the spout-tuple ID this tuple is anchored to, or 0 for an
+	// unanchored (unreliable) tuple.
+	Root ID
+	// Edge is this tuple's own XOR-tracking ID (0 for unanchored tuples).
+	Edge ID
+	// Stream names the stream this tuple was emitted on.
+	Stream string
+	// SrcComponent and SrcTask identify the producer.
+	SrcComponent string
+	SrcTask      int
+	// Values is the payload.
+	Values Values
+	// Size is the estimated serialized size in bytes, used by the network
+	// model and the traffic statistics.
+	Size int
+}
+
+// String renders a short debug form.
+func (t Tuple) String() string {
+	return fmt.Sprintf("tuple{%s/%s task=%d root=%x vals=%d size=%dB}",
+		t.SrcComponent, t.Stream, t.SrcTask, uint64(t.Root), len(t.Values), t.Size)
+}
+
+// ValueSize estimates the serialized size in bytes of one payload value.
+// It is intentionally cheap and deterministic: strings and byte slices
+// count their length, fixed-width scalars their width, and anything else a
+// small constant. A few bytes of framing are added per value.
+func ValueSize(v any) int {
+	const framing = 4
+	switch x := v.(type) {
+	case nil:
+		return framing
+	case string:
+		return framing + len(x)
+	case []byte:
+		return framing + len(x)
+	case bool:
+		return framing + 1
+	case int8, uint8:
+		return framing + 1
+	case int16, uint16:
+		return framing + 2
+	case int32, uint32, float32:
+		return framing + 4
+	case int, int64, uint, uint64, float64:
+		return framing + 8
+	default:
+		return framing + 16
+	}
+}
+
+// SizeOf estimates the serialized size of a whole payload, including a
+// fixed per-tuple header (stream id, task ids, message id).
+func SizeOf(vals Values) int {
+	const header = 20
+	n := header
+	for _, v := range vals {
+		n += ValueSize(v)
+	}
+	return n
+}
+
+// KeyString renders a payload value as a grouping key. It must be stable:
+// equal values always produce equal strings.
+func KeyString(v any) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case []byte:
+		return string(x)
+	case int:
+		return strconv.Itoa(x)
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case uint64:
+		return strconv.FormatUint(x, 10)
+	case bool:
+		if x {
+			return "true"
+		}
+		return "false"
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// HashKey hashes a grouping key to a bucket in [0, n). n must be positive.
+func HashKey(v any, n int) int {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(KeyString(v)))
+	return int(h.Sum64() % uint64(n))
+}

@@ -1,0 +1,135 @@
+package tuple
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFieldsIndex(t *testing.T) {
+	f := Fields{"word", "count"}
+	tests := []struct {
+		name   string
+		want   int
+		wantOK bool
+	}{
+		{"word", 0, true},
+		{"count", 1, true},
+		{"missing", 0, false},
+	}
+	for _, tt := range tests {
+		got, ok := f.Index(tt.name)
+		if got != tt.want || ok != tt.wantOK {
+			t.Errorf("Index(%q) = (%d, %v), want (%d, %v)", tt.name, got, ok, tt.want, tt.wantOK)
+		}
+	}
+	if !f.Contains("word") || f.Contains("nope") {
+		t.Error("Contains misbehaves")
+	}
+}
+
+func TestValueSize(t *testing.T) {
+	tests := []struct {
+		v    any
+		want int
+	}{
+		{nil, 4},
+		{"hello", 9},
+		{[]byte{1, 2, 3}, 7},
+		{true, 5},
+		{int8(1), 5},
+		{uint16(1), 6},
+		{int32(1), 8},
+		{float32(1), 8},
+		{int(1), 12},
+		{int64(1), 12},
+		{uint64(1), 12},
+		{float64(1), 12},
+		{struct{}{}, 20},
+	}
+	for _, tt := range tests {
+		if got := ValueSize(tt.v); got != tt.want {
+			t.Errorf("ValueSize(%T) = %d, want %d", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestSizeOfIncludesHeader(t *testing.T) {
+	if got := SizeOf(nil); got != 20 {
+		t.Fatalf("SizeOf(nil) = %d, want header 20", got)
+	}
+	if got := SizeOf(Values{"ab"}); got != 20+6 {
+		t.Fatalf("SizeOf = %d, want 26", got)
+	}
+}
+
+func TestKeyStringStability(t *testing.T) {
+	tests := []struct {
+		v    any
+		want string
+	}{
+		{"x", "x"},
+		{[]byte("y"), "y"},
+		{42, "42"},
+		{int64(-7), "-7"},
+		{uint64(9), "9"},
+		{true, "true"},
+		{false, "false"},
+		{1.5, "1.5"},
+	}
+	for _, tt := range tests {
+		if got := KeyString(tt.v); got != tt.want {
+			t.Errorf("KeyString(%v) = %q, want %q", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestHashKeyRange(t *testing.T) {
+	for _, key := range []string{"a", "b", "the", "rabbit", "queen"} {
+		got := HashKey(key, 7)
+		if got < 0 || got >= 7 {
+			t.Errorf("HashKey(%q, 7) = %d out of range", key, got)
+		}
+	}
+}
+
+func TestHashKeyDeterministicAcrossRepresentations(t *testing.T) {
+	// Equal keys must land in the same bucket — the fields-grouping contract.
+	if HashKey("word", 13) != HashKey([]byte("word"), 13) {
+		t.Fatal("string and []byte of same key hash differently")
+	}
+}
+
+func TestPropertyHashKeyInRangeAndStable(t *testing.T) {
+	f := func(s string, n uint8) bool {
+		buckets := int(n%32) + 1
+		a := HashKey(s, buckets)
+		b := HashKey(s, buckets)
+		return a == b && a >= 0 && a < buckets
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySizeOfMonotonicInPayload(t *testing.T) {
+	f := func(s string) bool {
+		base := SizeOf(Values{s})
+		more := SizeOf(Values{s, s})
+		return more > base
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	tp := Tuple{Root: 0xab, Stream: "default", SrcComponent: "spout", SrcTask: 3,
+		Values: Values{"x"}, Size: 26}
+	s := tp.String()
+	for _, want := range []string{"spout", "default", "task=3", "root=ab", "26B"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

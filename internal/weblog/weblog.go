@@ -1,0 +1,240 @@
+// Package weblog is the substrate standing in for LogStash plus the
+// Microsoft IIS log files the paper streams through its Log Stream
+// Processing topology. It deterministically generates IIS W3C-extended
+// log lines, wraps them in LogStash-style JSON envelopes, parses them
+// back, and applies the rule-based analysis the "log rules" bolt performs.
+package weblog
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Entry is one parsed IIS log record (the "log entry instance" the rules
+// bolt emits).
+type Entry struct {
+	Timestamp   string `json:"timestamp"`
+	ServerIP    string `json:"s_ip"`
+	Method      string `json:"cs_method"`
+	URIStem     string `json:"cs_uri_stem"`
+	URIQuery    string `json:"cs_uri_query"`
+	Port        int    `json:"s_port"`
+	Username    string `json:"cs_username"`
+	ClientIP    string `json:"c_ip"`
+	UserAgent   string `json:"cs_user_agent"`
+	Status      int    `json:"sc_status"`
+	SubStatus   int    `json:"sc_substatus"`
+	Win32Status int    `json:"sc_win32_status"`
+	TimeTakenMS int    `json:"time_taken"`
+}
+
+// Analysis is the result of applying the log rules to an Entry.
+type Analysis struct {
+	Severity  string `json:"severity"`  // "ok", "client-error", "server-error"
+	Category  string `json:"category"`  // resource category by extension
+	IsBot     bool   `json:"is_bot"`    // crawler user agent
+	IsSlow    bool   `json:"is_slow"`   // time-taken above threshold
+	SourceKey string `json:"sourceKey"` // client IP, the counting key
+}
+
+// Envelope is the LogStash-style JSON wrapper pushed onto the Redis queue.
+type Envelope struct {
+	Message   string `json:"message"`
+	Type      string `json:"type"`
+	Timestamp string `json:"@timestamp"`
+	Host      string `json:"host"`
+}
+
+// SlowThresholdMS is the time-taken threshold above which a request is
+// flagged slow by the rules.
+const SlowThresholdMS = 2000
+
+var (
+	methods = []string{"GET", "GET", "GET", "GET", "POST", "HEAD"}
+	stems   = []string{
+		"/", "/index.html", "/courses/cis554/syllabus.html", "/courses/cse687/notes.pdf",
+		"/images/logo.png", "/images/banner.jpg", "/js/app.js", "/css/site.css",
+		"/research/papers/list.aspx", "/people/faculty.aspx", "/admissions/apply.aspx",
+		"/news/2013/storm.html",
+	}
+	queries = []string{"", "", "", "id=42", "q=storm+scheduling", "page=2", "sort=date"}
+	agents  = []string{
+		"Mozilla/5.0 (Windows NT 6.1; WOW64) AppleWebKit/537.36",
+		"Mozilla/5.0 (Macintosh; Intel Mac OS X 10_8_4) Safari/536.30",
+		"Mozilla/4.0 (compatible; MSIE 8.0; Windows NT 6.1)",
+		"Googlebot/2.1 (+http://www.google.com/bot.html)",
+		"bingbot/2.0 (+http://www.bing.com/bingbot.htm)",
+	}
+	statuses = []int{200, 200, 200, 200, 200, 304, 302, 404, 404, 403, 500, 503}
+	users    = []string{"-", "-", "-", "-", "jxu21", "zchen03"}
+)
+
+// Generator deterministically produces synthetic IIS log lines.
+type Generator struct {
+	rng  *rand.Rand
+	seq  int64
+	base time.Time
+}
+
+// NewGenerator returns a generator seeded for reproducibility.
+func NewGenerator(seed uint64) *Generator {
+	return &Generator{
+		rng:  rand.New(rand.NewPCG(seed, seed^0xa5a5a5a5deadbeef)),
+		base: time.Date(2013, 9, 16, 8, 0, 0, 0, time.UTC),
+	}
+}
+
+// Line produces the next raw IIS W3C-extended log line:
+//
+//	date time s-ip cs-method cs-uri-stem cs-uri-query s-port cs-username
+//	c-ip cs(User-Agent) sc-status sc-substatus sc-win32-status time-taken
+func (g *Generator) Line() string {
+	e := g.Entry()
+	ua := strings.ReplaceAll(e.UserAgent, " ", "+")
+	return fmt.Sprintf("%s %s %s %s %s %d %s %s %s %d %d %d %d",
+		e.Timestamp, e.ServerIP, e.Method, e.URIStem, orDash(e.URIQuery), e.Port,
+		e.Username, e.ClientIP, ua, e.Status, e.SubStatus, e.Win32Status, e.TimeTakenMS)
+}
+
+// Entry produces the next record in structured form.
+func (g *Generator) Entry() Entry {
+	g.seq++
+	ts := g.base.Add(time.Duration(g.seq) * 137 * time.Millisecond)
+	status := statuses[g.rng.IntN(len(statuses))]
+	timeTaken := 5 + g.rng.IntN(400)
+	if g.rng.IntN(20) == 0 { // occasional slow request
+		timeTaken = SlowThresholdMS + g.rng.IntN(8000)
+	}
+	win32 := 0
+	if status >= 400 {
+		win32 = 2
+	}
+	return Entry{
+		Timestamp:   ts.Format("2006-01-02 15:04:05"),
+		ServerIP:    "128.230.13.10",
+		Method:      methods[g.rng.IntN(len(methods))],
+		URIStem:     stems[g.rng.IntN(len(stems))],
+		URIQuery:    queries[g.rng.IntN(len(queries))],
+		Port:        80,
+		Username:    users[g.rng.IntN(len(users))],
+		ClientIP:    fmt.Sprintf("10.%d.%d.%d", g.rng.IntN(32), g.rng.IntN(256), 1+g.rng.IntN(254)),
+		UserAgent:   agents[g.rng.IntN(len(agents))],
+		Status:      status,
+		SubStatus:   0,
+		Win32Status: win32,
+		TimeTakenMS: timeTaken,
+	}
+}
+
+// EnvelopeJSON produces the next log line wrapped in a LogStash JSON
+// envelope, ready to RPUSH onto the Redis queue.
+func (g *Generator) EnvelopeJSON() string {
+	line := g.Line()
+	env := Envelope{
+		Message:   line,
+		Type:      "iis",
+		Timestamp: strings.Fields(line)[0] + "T" + strings.Fields(line)[1] + "Z",
+		Host:      "webfarm01",
+	}
+	b, err := json.Marshal(env)
+	if err != nil {
+		// Envelope contains only strings; marshalling cannot fail.
+		panic(err)
+	}
+	return string(b)
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// ParseEnvelope decodes a LogStash JSON envelope.
+func ParseEnvelope(s string) (Envelope, error) {
+	var env Envelope
+	if err := json.Unmarshal([]byte(s), &env); err != nil {
+		return Envelope{}, fmt.Errorf("weblog: bad envelope: %w", err)
+	}
+	return env, nil
+}
+
+// ParseLine parses a raw IIS W3C-extended log line into an Entry.
+func ParseLine(line string) (Entry, error) {
+	f := strings.Fields(line)
+	if len(f) != 14 {
+		return Entry{}, fmt.Errorf("weblog: expected 14 fields, got %d in %q", len(f), line)
+	}
+	var e Entry
+	e.Timestamp = f[0] + " " + f[1]
+	e.ServerIP = f[2]
+	e.Method = f[3]
+	e.URIStem = f[4]
+	if f[5] != "-" {
+		e.URIQuery = f[5]
+	}
+	var err error
+	if e.Port, err = strconv.Atoi(f[6]); err != nil {
+		return Entry{}, fmt.Errorf("weblog: bad port: %w", err)
+	}
+	e.Username = f[7]
+	e.ClientIP = f[8]
+	e.UserAgent = strings.ReplaceAll(f[9], "+", " ")
+	if e.Status, err = strconv.Atoi(f[10]); err != nil {
+		return Entry{}, fmt.Errorf("weblog: bad status: %w", err)
+	}
+	if e.SubStatus, err = strconv.Atoi(f[11]); err != nil {
+		return Entry{}, fmt.Errorf("weblog: bad substatus: %w", err)
+	}
+	if e.Win32Status, err = strconv.Atoi(f[12]); err != nil {
+		return Entry{}, fmt.Errorf("weblog: bad win32status: %w", err)
+	}
+	if e.TimeTakenMS, err = strconv.Atoi(f[13]); err != nil {
+		return Entry{}, fmt.Errorf("weblog: bad time-taken: %w", err)
+	}
+	return e, nil
+}
+
+// Analyze applies the log rules to an entry — the work of the paper's
+// "log rules bolt".
+func Analyze(e Entry) Analysis {
+	a := Analysis{SourceKey: e.ClientIP}
+	switch {
+	case e.Status >= 500:
+		a.Severity = "server-error"
+	case e.Status >= 400:
+		a.Severity = "client-error"
+	default:
+		a.Severity = "ok"
+	}
+	a.Category = categoryOf(e.URIStem)
+	ua := strings.ToLower(e.UserAgent)
+	a.IsBot = strings.Contains(ua, "bot") || strings.Contains(ua, "crawler") ||
+		strings.Contains(ua, "spider")
+	a.IsSlow = e.TimeTakenMS >= SlowThresholdMS
+	return a
+}
+
+func categoryOf(stem string) string {
+	i := strings.LastIndexByte(stem, '.')
+	if i < 0 {
+		return "page"
+	}
+	switch strings.ToLower(stem[i+1:]) {
+	case "png", "jpg", "jpeg", "gif", "ico":
+		return "image"
+	case "js", "css":
+		return "asset"
+	case "pdf", "doc", "ppt", "zip":
+		return "document"
+	case "html", "htm", "aspx", "asp", "php":
+		return "page"
+	default:
+		return "other"
+	}
+}

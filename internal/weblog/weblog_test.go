@@ -1,0 +1,158 @@
+package weblog
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a, b := NewGenerator(7), NewGenerator(7)
+	for i := 0; i < 50; i++ {
+		if la, lb := a.Line(), b.Line(); la != lb {
+			t.Fatalf("same seed diverged at line %d:\n%s\n%s", i, la, lb)
+		}
+	}
+	c := NewGenerator(8)
+	same := true
+	a2 := NewGenerator(7)
+	for i := 0; i < 10; i++ {
+		if a2.Line() != c.Line() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRoundTripParse(t *testing.T) {
+	g := NewGenerator(3)
+	for i := 0; i < 200; i++ {
+		line := g.Line()
+		e, err := ParseLine(line)
+		if err != nil {
+			t.Fatalf("ParseLine(%q): %v", line, err)
+		}
+		if e.Port != 80 || e.ServerIP != "128.230.13.10" {
+			t.Fatalf("parsed entry %+v", e)
+		}
+		if e.Status < 100 || e.Status > 599 {
+			t.Fatalf("status out of range: %d", e.Status)
+		}
+		if e.TimeTakenMS <= 0 {
+			t.Fatalf("non-positive time-taken: %d", e.TimeTakenMS)
+		}
+		if strings.Contains(e.UserAgent, "+") {
+			t.Fatalf("user agent not unescaped: %q", e.UserAgent)
+		}
+	}
+}
+
+func TestParseLineErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"too few fields",
+		"2013-09-16 08:00:00 1.2.3.4 GET / - NOTAPORT - 10.0.0.1 UA 200 0 0 5",
+		"2013-09-16 08:00:00 1.2.3.4 GET / - 80 - 10.0.0.1 UA BAD 0 0 5",
+		"2013-09-16 08:00:00 1.2.3.4 GET / - 80 - 10.0.0.1 UA 200 X 0 5",
+		"2013-09-16 08:00:00 1.2.3.4 GET / - 80 - 10.0.0.1 UA 200 0 X 5",
+		"2013-09-16 08:00:00 1.2.3.4 GET / - 80 - 10.0.0.1 UA 200 0 0 X",
+	}
+	for _, line := range bad {
+		if _, err := ParseLine(line); err == nil {
+			t.Errorf("ParseLine(%q) succeeded, want error", line)
+		}
+	}
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	g := NewGenerator(5)
+	raw := g.EnvelopeJSON()
+	env, err := ParseEnvelope(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Type != "iis" || env.Host != "webfarm01" {
+		t.Fatalf("envelope = %+v", env)
+	}
+	if _, err := ParseLine(env.Message); err != nil {
+		t.Fatalf("embedded message does not parse: %v", err)
+	}
+	if _, err := ParseEnvelope("{not json"); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+}
+
+func TestAnalyzeSeverity(t *testing.T) {
+	tests := []struct {
+		status int
+		want   string
+	}{
+		{200, "ok"}, {304, "ok"}, {302, "ok"},
+		{403, "client-error"}, {404, "client-error"},
+		{500, "server-error"}, {503, "server-error"},
+	}
+	for _, tt := range tests {
+		a := Analyze(Entry{Status: tt.status, ClientIP: "10.0.0.1"})
+		if a.Severity != tt.want {
+			t.Errorf("Analyze(status=%d).Severity = %q, want %q", tt.status, a.Severity, tt.want)
+		}
+		if a.SourceKey != "10.0.0.1" {
+			t.Errorf("SourceKey = %q", a.SourceKey)
+		}
+	}
+}
+
+func TestAnalyzeCategoryAndFlags(t *testing.T) {
+	tests := []struct {
+		stem string
+		want string
+	}{
+		{"/", "page"},
+		{"/x.html", "page"},
+		{"/a.aspx", "page"},
+		{"/img/x.png", "image"},
+		{"/js/app.js", "asset"},
+		{"/p/x.pdf", "document"},
+		{"/w.xyz", "other"},
+	}
+	for _, tt := range tests {
+		if got := Analyze(Entry{URIStem: tt.stem}).Category; got != tt.want {
+			t.Errorf("Category(%q) = %q, want %q", tt.stem, got, tt.want)
+		}
+	}
+	if !Analyze(Entry{UserAgent: "Googlebot/2.1"}).IsBot {
+		t.Error("Googlebot not flagged as bot")
+	}
+	if Analyze(Entry{UserAgent: "Mozilla/5.0"}).IsBot {
+		t.Error("browser flagged as bot")
+	}
+	if !Analyze(Entry{TimeTakenMS: SlowThresholdMS}).IsSlow {
+		t.Error("slow request not flagged")
+	}
+	if Analyze(Entry{TimeTakenMS: 10}).IsSlow {
+		t.Error("fast request flagged slow")
+	}
+}
+
+// Property: every generated line parses, and analysis is total.
+func TestPropertyGeneratedLinesAlwaysParse(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		g := NewGenerator(seed)
+		for i := 0; i < int(n%50)+1; i++ {
+			e, err := ParseLine(g.Line())
+			if err != nil {
+				return false
+			}
+			a := Analyze(e)
+			if a.Severity == "" || a.Category == "" || a.SourceKey == "" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

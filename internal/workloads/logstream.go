@@ -1,0 +1,212 @@
+package workloads
+
+import (
+	"fmt"
+	"time"
+
+	"tstorm/internal/docstore"
+	"tstorm/internal/engine"
+	"tstorm/internal/redisq"
+	"tstorm/internal/sim"
+	"tstorm/internal/topology"
+	"tstorm/internal/tuple"
+	"tstorm/internal/weblog"
+)
+
+// LogStreamConfig parameterizes the Log Stream Processing topology
+// (Fig. 7, from [16]): a LogStash-fed log spout, a rule-analysis bolt,
+// an indexer and a counter bolt in parallel, each followed by a Mongo
+// sink. Defaults are the paper's §V settings.
+type LogStreamConfig struct {
+	Spouts   int
+	Rules    int
+	Indexers int
+	Counters int
+	// MongoIndex and MongoCount are the two Mongo bolts' parallelism
+	// (paper: 2 each).
+	MongoIndex int
+	MongoCount int
+	Ackers     int
+	Workers    int
+	Queue      *redisq.Server
+	QueueKey   string
+	Sink       *docstore.Store
+	// EmitInterval is the log spout's poll interval.
+	EmitInterval time.Duration
+}
+
+// DefaultLogStreamConfig returns the paper's configuration. Queue and
+// Sink must still be provided.
+func DefaultLogStreamConfig() LogStreamConfig {
+	return LogStreamConfig{
+		Spouts:       5,
+		Rules:        5,
+		Indexers:     5,
+		Counters:     5,
+		MongoIndex:   2,
+		MongoCount:   2,
+		Ackers:       1,
+		Workers:      20,
+		QueueKey:     "logstream",
+		EmitInterval: 5 * time.Millisecond,
+	}
+}
+
+// logRulesBolt parses the LogStash envelope and the IIS line, applies the
+// rules, and emits one enriched log-entry tuple.
+type logRulesBolt struct{}
+
+var _ engine.Bolt = logRulesBolt{}
+
+func (logRulesBolt) Prepare(*engine.Context) {}
+
+func (logRulesBolt) Execute(in tuple.Tuple, em engine.Emitter) {
+	raw, ok := in.Values[0].(string)
+	if !ok {
+		return
+	}
+	env, err := weblog.ParseEnvelope(raw)
+	if err != nil {
+		return
+	}
+	entry, err := weblog.ParseLine(env.Message)
+	if err != nil {
+		return
+	}
+	a := weblog.Analyze(entry)
+	em.Emit("", tuple.Values{
+		entry.URIStem, a.SourceKey, a.Severity, a.Category, a.IsBot, a.IsSlow, entry.TimeTakenMS,
+	})
+}
+
+// indexerBolt performs the indexing work and forwards the entry to its
+// Mongo sink bolt.
+type indexerBolt struct{}
+
+var _ engine.Bolt = indexerBolt{}
+
+func (indexerBolt) Prepare(*engine.Context) {}
+
+func (indexerBolt) Execute(in tuple.Tuple, em engine.Emitter) {
+	em.Emit("", in.Values)
+}
+
+// logCounterBolt counts entries per source and per category.
+type logCounterBolt struct {
+	bySource map[string]int64
+}
+
+var _ engine.Bolt = (*logCounterBolt)(nil)
+
+func (b *logCounterBolt) Prepare(*engine.Context) {
+	b.bySource = make(map[string]int64)
+}
+
+func (b *logCounterBolt) Execute(in tuple.Tuple, em engine.Emitter) {
+	src, ok := in.Values[1].(string)
+	if !ok {
+		return
+	}
+	b.bySource[src]++
+	em.Emit("", tuple.Values{src, b.bySource[src]})
+}
+
+// mongoIndexBolt persists index documents.
+type mongoIndexBolt struct {
+	sink *docstore.Store
+}
+
+var _ engine.Bolt = (*mongoIndexBolt)(nil)
+
+func (b *mongoIndexBolt) Prepare(*engine.Context) {}
+
+func (b *mongoIndexBolt) Execute(in tuple.Tuple, em engine.Emitter) {
+	stem, _ := in.Values[0].(string)
+	severity, _ := in.Values[2].(string)
+	category, _ := in.Values[3].(string)
+	b.sink.Insert("index", docstore.Document{
+		"stem": stem, "severity": severity, "category": category,
+	})
+}
+
+// mongoCountBolt persists per-source counters.
+type mongoCountBolt struct {
+	sink *docstore.Store
+}
+
+var _ engine.Bolt = (*mongoCountBolt)(nil)
+
+func (b *mongoCountBolt) Prepare(*engine.Context) {}
+
+func (b *mongoCountBolt) Execute(in tuple.Tuple, em engine.Emitter) {
+	src, ok := in.Values[0].(string)
+	if !ok {
+		return
+	}
+	b.sink.IncCounter("sources", src, 1)
+}
+
+// NewLogStream builds the Log Stream Processing app. Its bolts "do even
+// more intensive work than those in the Word Count topology" (§V) — the
+// heavily-loaded case of the paper's headline claim.
+func NewLogStream(cfg LogStreamConfig) (*engine.App, error) {
+	if cfg.Queue == nil || cfg.Sink == nil {
+		return nil, fmt.Errorf("workloads: log stream needs a queue and a sink")
+	}
+	if cfg.QueueKey == "" {
+		cfg.QueueKey = "logstream"
+	}
+	b := topology.NewBuilder("logstream", cfg.Workers)
+	b.SetAckers(cfg.Ackers)
+	b.Spout("logspout", cfg.Spouts).Output("default", "json")
+	b.Bolt("rules", cfg.Rules).Shuffle("logspout").
+		Output("default", "stem", "source", "severity", "category", "bot", "slow", "timetaken")
+	b.Bolt("indexer", cfg.Indexers).Shuffle("rules").
+		Output("default", "stem", "source", "severity", "category", "bot", "slow", "timetaken")
+	b.Bolt("counter", cfg.Counters).Fields("rules", "source").Output("default", "source", "count")
+	b.Bolt("mongo-index", cfg.MongoIndex).Shuffle("indexer")
+	b.Bolt("mongo-count", cfg.MongoCount).Shuffle("counter")
+	top, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &engine.App{
+		Topology: top,
+		Spouts: map[string]func() engine.Spout{
+			"logspout": func() engine.Spout {
+				return &readerSpout{queue: cfg.Queue, key: cfg.QueueKey}
+			},
+		},
+		Bolts: map[string]func() engine.Bolt{
+			"rules":       func() engine.Bolt { return logRulesBolt{} },
+			"indexer":     func() engine.Bolt { return indexerBolt{} },
+			"counter":     func() engine.Bolt { return &logCounterBolt{} },
+			"mongo-index": func() engine.Bolt { return &mongoIndexBolt{sink: cfg.Sink} },
+			"mongo-count": func() engine.Bolt { return &mongoCountBolt{sink: cfg.Sink} },
+		},
+		Costs: map[string]engine.CostFn{
+			"logspout":    engine.ConstCost(engine.Cycles(300*time.Microsecond, 2000)),
+			"rules":       engine.ConstCost(engine.Cycles(3*time.Millisecond, 2000)),
+			"indexer":     engine.ConstCost(engine.Cycles(2500*time.Microsecond, 2000)),
+			"counter":     engine.ConstCost(engine.Cycles(1500*time.Microsecond, 2000)),
+			"mongo-index": engine.ConstCost(engine.Cycles(2*time.Millisecond, 2000)),
+			"mongo-count": engine.ConstCost(engine.Cycles(2*time.Millisecond, 2000)),
+		},
+		SpoutInterval: map[string]time.Duration{"logspout": cfg.EmitInterval},
+	}, nil
+}
+
+// StartLogFeeder pushes LogStash envelopes of synthetic IIS log lines
+// onto the queue at the given rate (lines per second) — the paper's
+// LogStash agent reading IIS logs. It returns a stop function.
+func StartLogFeeder(eng *sim.Engine, queue *redisq.Server, key string, seed uint64, linesPerSec float64) func() {
+	if linesPerSec <= 0 {
+		return func() {}
+	}
+	gen := weblog.NewGenerator(seed)
+	interval := time.Duration(float64(time.Second) / linesPerSec)
+	tk := eng.Every(interval, interval, func() {
+		queue.RPush(key, gen.EnvelopeJSON())
+	})
+	return tk.Stop
+}

@@ -1,0 +1,212 @@
+package workloads
+
+import (
+	"fmt"
+	"time"
+
+	"tstorm/internal/docstore"
+	"tstorm/internal/engine"
+	"tstorm/internal/redisq"
+	"tstorm/internal/sim"
+	"tstorm/internal/textdata"
+	"tstorm/internal/topology"
+	"tstorm/internal/tuple"
+)
+
+// WordCountConfig parameterizes the stream Word Count topology [14]:
+// a Redis-fed reader spout, a SplitSentence bolt, a fields-grouped
+// WordCount bolt, and a Mongo sink bolt. Defaults are the paper's §V
+// settings (20 workers, 2 spout and 5 executors per bolt).
+type WordCountConfig struct {
+	Spouts    int
+	Splitters int
+	Counters  int
+	Mongos    int
+	Ackers    int
+	Workers   int
+	// Queue is the Redis server the word file is pushed into; QueueKey
+	// is the list the reader spout pops from.
+	Queue    *redisq.Server
+	QueueKey string
+	// Sink is the Mongo-like store results are saved to.
+	Sink *docstore.Store
+	// EmitInterval is the reader spout's poll interval.
+	EmitInterval time.Duration
+}
+
+// DefaultWordCountConfig returns the paper's configuration. Queue and
+// Sink must still be provided.
+func DefaultWordCountConfig() WordCountConfig {
+	return WordCountConfig{
+		Spouts:       2,
+		Splitters:    5,
+		Counters:     5,
+		Mongos:       5,
+		Ackers:       3,
+		Workers:      20,
+		QueueKey:     "wordcount",
+		EmitInterval: 5 * time.Millisecond,
+	}
+}
+
+// readerSpout pops lines from a Redis list, one per NextTuple, and
+// replays failed lines.
+type readerSpout struct {
+	queue    *redisq.Server
+	key      string
+	seq      int
+	inflight map[int]string
+	replays  []int
+}
+
+var _ engine.Spout = (*readerSpout)(nil)
+
+func (s *readerSpout) Open(*engine.Context) {
+	s.inflight = make(map[int]string)
+}
+
+func (s *readerSpout) NextTuple(em engine.SpoutEmitter) {
+	if len(s.replays) > 0 {
+		id := s.replays[0]
+		s.replays = s.replays[1:]
+		if line, ok := s.inflight[id]; ok {
+			em.EmitWithID("", tuple.Values{line}, id)
+		}
+		return
+	}
+	line, ok := s.queue.LPop(s.key)
+	if !ok {
+		return
+	}
+	s.seq++
+	s.inflight[s.seq] = line
+	em.EmitWithID("", tuple.Values{line}, s.seq)
+}
+
+func (s *readerSpout) Ack(msgID any) {
+	if id, ok := msgID.(int); ok {
+		delete(s.inflight, id)
+	}
+}
+
+func (s *readerSpout) Fail(msgID any) {
+	if id, ok := msgID.(int); ok {
+		if _, live := s.inflight[id]; live {
+			s.replays = append(s.replays, id)
+		}
+	}
+}
+
+// splitSentenceBolt splits lines into lower-cased words.
+type splitSentenceBolt struct{}
+
+var _ engine.Bolt = splitSentenceBolt{}
+
+func (splitSentenceBolt) Prepare(*engine.Context) {}
+
+func (splitSentenceBolt) Execute(in tuple.Tuple, em engine.Emitter) {
+	line, ok := in.Values[0].(string)
+	if !ok {
+		return
+	}
+	for _, w := range textdata.SplitWords(line) {
+		em.Emit("", tuple.Values{w})
+	}
+}
+
+// wordCountBolt counts distinct words (fields grouping guarantees each
+// word always reaches the same task) and emits running counts.
+type wordCountBolt struct {
+	counts map[string]int64
+}
+
+var _ engine.Bolt = (*wordCountBolt)(nil)
+
+func (b *wordCountBolt) Prepare(*engine.Context) {
+	b.counts = make(map[string]int64)
+}
+
+func (b *wordCountBolt) Execute(in tuple.Tuple, em engine.Emitter) {
+	w, ok := in.Values[0].(string)
+	if !ok {
+		return
+	}
+	b.counts[w]++
+	em.Emit("", tuple.Values{w, b.counts[w]})
+}
+
+// mongoWordBolt upserts counts into the document store.
+type mongoWordBolt struct {
+	sink *docstore.Store
+	coll string
+}
+
+var _ engine.Bolt = (*mongoWordBolt)(nil)
+
+func (b *mongoWordBolt) Prepare(*engine.Context) {}
+
+func (b *mongoWordBolt) Execute(in tuple.Tuple, em engine.Emitter) {
+	w, ok := in.Values[0].(string)
+	if !ok {
+		return
+	}
+	b.sink.IncCounter(b.coll, w, 1)
+}
+
+// NewWordCount builds the Word Count app. Its bolts do "much more
+// substantial work" than the Throughput Test's (§V), which the CPU costs
+// reflect.
+func NewWordCount(cfg WordCountConfig) (*engine.App, error) {
+	if cfg.Queue == nil || cfg.Sink == nil {
+		return nil, fmt.Errorf("workloads: word count needs a queue and a sink")
+	}
+	if cfg.QueueKey == "" {
+		cfg.QueueKey = "wordcount"
+	}
+	b := topology.NewBuilder("wordcount", cfg.Workers)
+	b.SetAckers(cfg.Ackers)
+	b.Spout("reader", cfg.Spouts).Output("default", "line")
+	b.Bolt("split", cfg.Splitters).Shuffle("reader").Output("default", "word")
+	b.Bolt("count", cfg.Counters).Fields("split", "word").Output("default", "word", "count")
+	b.Bolt("mongo", cfg.Mongos).Shuffle("count")
+	top, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &engine.App{
+		Topology: top,
+		Spouts: map[string]func() engine.Spout{
+			"reader": func() engine.Spout {
+				return &readerSpout{queue: cfg.Queue, key: cfg.QueueKey}
+			},
+		},
+		Bolts: map[string]func() engine.Bolt{
+			"split": func() engine.Bolt { return splitSentenceBolt{} },
+			"count": func() engine.Bolt { return &wordCountBolt{} },
+			"mongo": func() engine.Bolt { return &mongoWordBolt{sink: cfg.Sink, coll: "words"} },
+		},
+		Costs: map[string]engine.CostFn{
+			"reader": engine.ConstCost(engine.Cycles(200*time.Microsecond, 2000)),
+			"split":  engine.ConstCost(engine.Cycles(1200*time.Microsecond, 2000)),
+			"count":  engine.ConstCost(engine.Cycles(400*time.Microsecond, 2000)),
+			"mongo":  engine.ConstCost(engine.Cycles(700*time.Microsecond, 2000)),
+		},
+		SpoutInterval: map[string]time.Duration{"reader": cfg.EmitInterval},
+	}, nil
+}
+
+// StartCorpusFeeder pushes corpus lines onto the queue at the given rate
+// (lines per second), standing in for the paper's "very large word file"
+// pushed into Redis. It returns a stop function.
+func StartCorpusFeeder(eng *sim.Engine, queue *redisq.Server, key string, linesPerSec float64) func() {
+	if linesPerSec <= 0 {
+		return func() {}
+	}
+	interval := time.Duration(float64(time.Second) / linesPerSec)
+	i := 0
+	tk := eng.Every(interval, interval, func() {
+		queue.RPush(key, textdata.Line(i))
+		i++
+	})
+	return tk.Stop
+}

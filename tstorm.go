@@ -1,0 +1,197 @@
+// Package tstorm is a Go reproduction of "T-Storm: Traffic-aware Online
+// Scheduling in Storm" (Xu, Chen, Tang, Su — IEEE ICDCS 2014): a complete
+// Storm-like stream-processing engine running on a deterministic
+// discrete-event simulation of a cluster, plus the T-Storm scheduling
+// architecture on top of it — per-node load monitors, an EWMA load
+// database, a hot-swappable schedule generator running the paper's
+// traffic-aware Algorithm 1 with its consolidation factor γ, a thin custom
+// scheduler, and the smooth re-assignment machinery of §IV-D.
+//
+// This root package is the public facade: it re-exports the main types
+// and provides Wire, which assembles the whole T-Storm stack in one call.
+// The examples/ directory shows complete programs; cmd/tstorm-bench
+// regenerates every figure of the paper's evaluation.
+//
+// A minimal session:
+//
+//	b := tstorm.NewTopology("demo", 4)
+//	b.SetAckers(1)
+//	b.Spout("src", 1).Output("default", "v")
+//	b.Bolt("work", 2).Shuffle("src")
+//	top, _ := b.Build()
+//
+//	cl, _ := tstorm.NewCluster(3, 4, 2000, 4)
+//	rt, _ := tstorm.NewRuntime(tstorm.TStormConfig(), cl)
+//	initial, _ := tstorm.InitialSchedule(top, cl)
+//	_ = rt.Submit(&tstorm.App{ /* code + costs */ }, initial)
+//	stack, _ := tstorm.Wire(rt, 1.5)
+//	_ = rt.RunFor(10 * time.Minute)
+//	_ = stack
+package tstorm
+
+import (
+	"tstorm/internal/cluster"
+	"tstorm/internal/core"
+	"tstorm/internal/engine"
+	"tstorm/internal/loaddb"
+	"tstorm/internal/monitor"
+	"tstorm/internal/predictor"
+	"tstorm/internal/scheduler"
+	"tstorm/internal/topology"
+	"tstorm/internal/trace"
+	"tstorm/internal/tuple"
+)
+
+// Topology model.
+type (
+	// Topology is a validated Storm application graph.
+	Topology = topology.Topology
+	// TopologyBuilder assembles a Topology.
+	TopologyBuilder = topology.Builder
+	// ExecutorID identifies one executor of one topology.
+	ExecutorID = topology.ExecutorID
+	// Tuple is the unit of data flowing through a topology.
+	Tuple = tuple.Tuple
+	// Values is a tuple's payload.
+	Values = tuple.Values
+)
+
+// Physical cluster model.
+type (
+	// Cluster is a fixed set of worker nodes.
+	Cluster = cluster.Cluster
+	// Node is one worker node.
+	Node = cluster.Node
+	// SlotID identifies a worker slot (node, port).
+	SlotID = cluster.SlotID
+	// Assignment maps executors to slots.
+	Assignment = cluster.Assignment
+)
+
+// Execution engine.
+type (
+	// Runtime is the simulated Storm cluster.
+	Runtime = engine.Runtime
+	// Config holds the engine's timing and cost parameters.
+	Config = engine.Config
+	// App bundles a topology with its component code and costs.
+	App = engine.App
+	// Spout produces the topology's input stream.
+	Spout = engine.Spout
+	// Bolt consumes and processes tuples.
+	Bolt = engine.Bolt
+	// Emitter is handed to bolts to emit tuples.
+	Emitter = engine.Emitter
+	// SpoutEmitter is handed to spouts to emit root tuples.
+	SpoutEmitter = engine.SpoutEmitter
+	// Context gives user code its identity.
+	Context = engine.Context
+	// CostFn models a component's per-tuple CPU cost.
+	CostFn = engine.CostFn
+	// TopologyMetrics collects a topology's measurements.
+	TopologyMetrics = engine.TopologyMetrics
+)
+
+// Scheduling.
+type (
+	// Algorithm computes executor-to-slot assignments.
+	Algorithm = scheduler.Algorithm
+	// SchedulerInput carries what algorithms may use.
+	SchedulerInput = scheduler.Input
+	// TrafficAware is the paper's Algorithm 1.
+	TrafficAware = core.TrafficAware
+	// Generator is the schedule generator daemon.
+	Generator = core.Generator
+	// CustomScheduler fetches and applies generated schedules.
+	CustomScheduler = core.CustomScheduler
+	// LoadDB is the load-information database.
+	LoadDB = loaddb.DB
+	// MonitorFleet drives the per-node load monitors.
+	MonitorFleet = monitor.Fleet
+)
+
+// Observability.
+type (
+	// TraceRecorder captures structured runtime events.
+	TraceRecorder = trace.Recorder
+	// TraceEvent is one recorded runtime event.
+	TraceEvent = trace.Event
+	// Estimator is a pluggable load estimator (§IV-B extension point).
+	Estimator = predictor.Estimator
+)
+
+// NewTraceRecorder returns a bounded event recorder; attach it via
+// Config.Trace before building the runtime.
+func NewTraceRecorder(capacity int) *TraceRecorder { return trace.NewRecorder(capacity) }
+
+// NewTopology starts a topology builder with the given name and requested
+// worker count.
+func NewTopology(name string, numWorkers int) *TopologyBuilder {
+	return topology.NewBuilder(name, numWorkers)
+}
+
+// NewCluster builds a cluster of n identical nodes (cores × coreMHz CPU,
+// slots worker slots each).
+func NewCluster(n, cores int, coreMHz float64, slots int) (*Cluster, error) {
+	return cluster.Uniform(n, cores, coreMHz, slots)
+}
+
+// NewRuntime builds a simulated Storm runtime over the cluster.
+func NewRuntime(cfg Config, cl *Cluster) (*Runtime, error) {
+	return engine.NewRuntime(cfg, cl)
+}
+
+// DefaultConfig reproduces stock Storm 0.8 behaviour.
+func DefaultConfig() Config { return engine.DefaultConfig() }
+
+// TStormConfig enables T-Storm's smooth re-assignment (§IV-D).
+func TStormConfig() Config { return engine.TStormConfig() }
+
+// NewTrafficAware returns Algorithm 1 with consolidation factor γ.
+func NewTrafficAware(gamma float64) *TrafficAware { return core.NewTrafficAware(gamma) }
+
+// InitialSchedule computes T-Storm's modified initial placement for a
+// topology: min(N_u, nodes) workers, one per node.
+func InitialSchedule(top *Topology, cl *Cluster) (*Assignment, error) {
+	return scheduler.TStormInitial{}.Schedule(&scheduler.Input{
+		Topologies: []*Topology{top}, Cluster: cl,
+	})
+}
+
+// DefaultSchedule computes Storm's default round-robin placement.
+func DefaultSchedule(top *Topology, cl *Cluster) (*Assignment, error) {
+	return scheduler.RoundRobin{}.Schedule(&scheduler.Input{
+		Topologies: []*Topology{top}, Cluster: cl,
+	})
+}
+
+// Stack is the wired T-Storm scheduling architecture of Fig. 4.
+type Stack struct {
+	DB        *LoadDB
+	Monitors  *MonitorFleet
+	Generator *Generator
+	Scheduler *CustomScheduler
+}
+
+// Wire assembles the full T-Storm stack on a runtime: load monitors
+// sampling every 20 s into an α=0.5 load DB, a schedule generator running
+// Algorithm 1 with the given γ on the paper's periods, and the custom
+// scheduler fetching every 10 s.
+func Wire(rt *Runtime, gamma float64) (*Stack, error) {
+	db := loaddb.New(0.5)
+	fleet := monitor.Start(rt, db, monitor.DefaultPeriod)
+	gen, err := core.StartGenerator(rt, db, core.DefaultGeneratorConfig(), core.NewTrafficAware(gamma))
+	if err != nil {
+		fleet.Stop()
+		return nil, err
+	}
+	cs := core.StartCustomScheduler(rt, core.DefaultFetchPeriod)
+	return &Stack{DB: db, Monitors: fleet, Generator: gen, Scheduler: cs}, nil
+}
+
+// Stop halts the stack's periodic work.
+func (s *Stack) Stop() {
+	s.Monitors.Stop()
+	s.Generator.Stop()
+	s.Scheduler.Stop()
+}

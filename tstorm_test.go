@@ -1,0 +1,115 @@
+package tstorm_test
+
+import (
+	"testing"
+	"time"
+
+	"tstorm"
+	"tstorm/internal/tuple"
+)
+
+// facadeSpout emits sequential ints through the public facade types.
+type facadeSpout struct{ n int }
+
+func (s *facadeSpout) Open(*tstorm.Context) {}
+func (s *facadeSpout) NextTuple(em tstorm.SpoutEmitter) {
+	em.EmitWithID("", tuple.Values{s.n}, s.n)
+	s.n++
+}
+func (s *facadeSpout) Ack(any)  {}
+func (s *facadeSpout) Fail(any) {}
+
+type facadeBolt struct{ seen *int64 }
+
+func (facadeBolt) Prepare(*tstorm.Context) {}
+func (b facadeBolt) Execute(in tstorm.Tuple, em tstorm.Emitter) {
+	*b.seen++
+}
+
+// TestFacadeEndToEnd drives the whole public API surface the README
+// advertises: build, cluster, runtime, initial schedule, submit, Wire,
+// run, metrics.
+func TestFacadeEndToEnd(t *testing.T) {
+	b := tstorm.NewTopology("facade", 4)
+	b.SetAckers(1)
+	b.Spout("src", 1).Output("default", "v")
+	b.Bolt("work", 2).Shuffle("src")
+	top, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cl, err := tstorm.NewCluster(3, 4, 2000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := tstorm.NewRuntime(tstorm.TStormConfig(), cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial, err := tstorm.InitialSchedule(top, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen int64
+	app := &tstorm.App{
+		Topology: top,
+		Spouts:   map[string]func() tstorm.Spout{"src": func() tstorm.Spout { return &facadeSpout{} }},
+		Bolts:    map[string]func() tstorm.Bolt{"work": func() tstorm.Bolt { return facadeBolt{seen: &seen} }},
+	}
+	if err := rt.Submit(app, initial); err != nil {
+		t.Fatal(err)
+	}
+	stack, err := tstorm.Wire(rt, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.RunFor(5 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	tm := rt.Metrics("facade")
+	if tm.Completions == 0 || seen == 0 {
+		t.Fatalf("completions=%d seen=%d", tm.Completions, seen)
+	}
+	if tm.Failed != 0 {
+		t.Fatalf("failed = %d", tm.Failed)
+	}
+	if stack.Generator.Algorithm().Name() != "tstorm" {
+		t.Fatal("Wire did not install the tstorm algorithm")
+	}
+	stack.Stop()
+	// Stopped stack: no further schedules generate, the cluster keeps
+	// processing.
+	before := tm.Completions
+	if err := rt.RunFor(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if tm.Completions <= before {
+		t.Fatal("processing stalled after Stop")
+	}
+}
+
+func TestFacadeDefaultSchedule(t *testing.T) {
+	b := tstorm.NewTopology("rr", 5)
+	b.Spout("s", 1).Output("default", "v")
+	b.Bolt("b", 4).Shuffle("s")
+	top, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := tstorm.NewCluster(5, 4, 2000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := tstorm.DefaultSchedule(top, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Executors) != top.NumExecutors() {
+		t.Fatal("default schedule incomplete")
+	}
+	ta := tstorm.NewTrafficAware(2)
+	if ta.Name() != "tstorm" {
+		t.Fatal("facade TrafficAware wrong")
+	}
+}
