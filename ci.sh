@@ -1,0 +1,10 @@
+#!/bin/sh
+# Tier-1 verification loop: build, vet, and run the full test suite with
+# the race detector enabled (the live runtime is heavily concurrent).
+# The experiment package replays full paper figures, which is slow under
+# the race detector — hence the raised per-package timeout.
+set -eux
+cd "$(dirname "$0")"
+go build ./...
+go vet ./...
+go test -race -timeout 30m ./...

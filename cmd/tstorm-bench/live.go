@@ -1,0 +1,166 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"tstorm/internal/cluster"
+	"tstorm/internal/core"
+	"tstorm/internal/docstore"
+	"tstorm/internal/live"
+	"tstorm/internal/loaddb"
+	"tstorm/internal/scheduler"
+	"tstorm/internal/topology"
+	"tstorm/internal/workloads"
+)
+
+// liveRun is one measured configuration of the live benchmark.
+type liveRun struct {
+	Scheduler         string  `json:"scheduler"`
+	TuplesPerSec      float64 `json:"tuples_per_sec"`
+	SinkTuplesPerSec  float64 `json:"sink_tuples_per_sec"`
+	P50LatencyMs      float64 `json:"p50_latency_ms"`
+	P99LatencyMs      float64 `json:"p99_latency_ms"`
+	InterNodeFraction float64 `json:"inter_node_fraction"`
+	Migrations        int64   `json:"migrations"`
+}
+
+// liveReport is the JSON document written by -live -json.
+type liveReport struct {
+	Benchmark   string    `json:"benchmark"`
+	DurationSec float64   `json:"duration_sec"`
+	Seed        uint64    `json:"seed"`
+	Runs        []liveRun `json:"runs"`
+	// Speedup is T-Storm's measured tuples/s over the default scheduler's.
+	Speedup float64 `json:"speedup"`
+}
+
+// runLive benchmarks the wall-clock runtime: the self-fed Word Count on an
+// emulated 4-node cluster under Storm's default round-robin placement
+// versus T-Storm (initial schedule + monitor-fed Algorithm 1 reschedule),
+// reporting real goroutine throughput, end-to-end latency, and the
+// inter-node traffic fraction.
+func runLive(duration time.Duration, seed uint64, jsonPath string) error {
+	if duration <= 0 {
+		duration = 3 * time.Second
+	}
+	fmt.Printf("Live runtime benchmark: self-fed Word Count, 4 nodes × 4 slots, %.0fs measure window\n\n", duration.Seconds())
+
+	var runs []liveRun
+	for _, sched := range []string{"default", "tstorm"} {
+		run, err := liveOnce(sched, duration, seed)
+		if err != nil {
+			return fmt.Errorf("live %s run: %w", sched, err)
+		}
+		runs = append(runs, run)
+		fmt.Printf("%-8s  %10.0f tuples/s  %8.0f sink/s  p50 %6.2f ms  p99 %7.2f ms  inter-node %5.1f%%  migrations %d\n",
+			run.Scheduler, run.TuplesPerSec, run.SinkTuplesPerSec,
+			run.P50LatencyMs, run.P99LatencyMs, 100*run.InterNodeFraction, run.Migrations)
+	}
+	report := liveReport{
+		Benchmark:   "live-wordcount",
+		DurationSec: duration.Seconds(),
+		Seed:        seed,
+		Runs:        runs,
+	}
+	if runs[0].TuplesPerSec > 0 {
+		report.Speedup = runs[1].TuplesPerSec / runs[0].TuplesPerSec
+	}
+	fmt.Printf("\nT-Storm speedup over default: %.2f×\n", report.Speedup)
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+func liveOnce(sched string, measure time.Duration, seed uint64) (liveRun, error) {
+	cl, err := cluster.Uniform(4, 4, 2000, 4)
+	if err != nil {
+		return liveRun{}, err
+	}
+	wcfg := workloads.DefaultSelfFedWordCountConfig()
+	wcfg.Sink = docstore.NewStore()
+	app, err := workloads.NewSelfFedWordCount(wcfg)
+	if err != nil {
+		return liveRun{}, err
+	}
+	in := scheduler.NewInput([]*topology.Topology{app.Topology}, cl, nil, 0)
+	var initial *cluster.Assignment
+	if sched == "tstorm" {
+		initial, err = scheduler.TStormInitial{}.Schedule(in)
+	} else {
+		initial, err = scheduler.RoundRobin{}.Schedule(in)
+	}
+	if err != nil {
+		return liveRun{}, err
+	}
+
+	lcfg := live.DefaultConfig()
+	lcfg.Seed = seed
+	eng, err := live.NewEngine(lcfg, cl)
+	if err != nil {
+		return liveRun{}, err
+	}
+	if err := eng.Submit(app, initial); err != nil {
+		return liveRun{}, err
+	}
+	if err := eng.Start(); err != nil {
+		return liveRun{}, err
+	}
+	defer eng.Stop()
+
+	const monitorPeriod = 250 * time.Millisecond
+	if sched == "tstorm" {
+		db := loaddb.New(0.5)
+		mon := live.StartMonitor(eng, db, monitorPeriod)
+		defer mon.Stop()
+		gen, err := live.StartGenerator(eng, db, live.GeneratorConfig{
+			Period:               time.Hour, // one forced reschedule below
+			CapacityFraction:     0.9,
+			ImprovementThreshold: 0.10,
+		}, core.NewTrafficAware(1.5))
+		if err != nil {
+			return liveRun{}, err
+		}
+		defer gen.Stop()
+		deadline := time.Now().Add(10 * time.Second)
+		for mon.Samples() < 4 && time.Now().Before(deadline) {
+			time.Sleep(monitorPeriod / 5)
+		}
+		gen.Reschedule()
+	} else {
+		time.Sleep(4 * monitorPeriod) // matching warm-up
+	}
+	// Let the pipeline regain steady state: the reschedule drained every
+	// queue and spouts stay halted for SpoutHaltDelay after it.
+	time.Sleep(lcfg.SpoutHaltDelay + time.Second)
+
+	eng.DrainLatency() // discard warm-up samples
+	t0 := eng.Totals()
+	start := time.Now()
+	time.Sleep(measure)
+	w := eng.Totals().Sub(t0)
+	elapsed := time.Since(start).Seconds()
+	lat := eng.DrainLatency()
+	eng.Stop()
+
+	return liveRun{
+		Scheduler:         sched,
+		TuplesPerSec:      float64(w.Processed) / elapsed,
+		SinkTuplesPerSec:  float64(w.SinkProcessed) / elapsed,
+		P50LatencyMs:      lat.Quantile(0.5),
+		P99LatencyMs:      lat.Quantile(0.99),
+		InterNodeFraction: w.InterNodeFraction(),
+		Migrations:        eng.Totals().Migrations,
+	}, nil
+}

@@ -1,11 +1,17 @@
-// Command tstorm-bench regenerates the paper's tables and figures.
+// Command tstorm-bench regenerates the paper's tables and figures, and
+// benchmarks the live (wall-clock) runtime.
 //
 // Usage:
 //
 //	tstorm-bench [-fig 5] [-duration 1000s] [-seed 1] [-csv dir]
+//	tstorm-bench -live [-duration 3s] [-json BENCH_live.json]
 //
 // Without -fig it regenerates every figure in order. With -csv the series
-// are also written as CSV files into the given directory.
+// are also written as CSV files into the given directory. With -live it
+// instead runs the self-fed Word Count on the goroutine execution engine
+// under the default scheduler versus T-Storm, measuring real throughput,
+// end-to-end latency, and inter-node traffic; -json writes the results as
+// a JSON report.
 package main
 
 import (
@@ -23,9 +29,17 @@ func main() {
 	duration := flag.Duration("duration", 0, "override run duration (0 = paper durations)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	csvDir := flag.String("csv", "", "directory to write per-figure CSV series into")
+	liveMode := flag.Bool("live", false, "benchmark the live (wall-clock) runtime instead of regenerating figures")
+	jsonPath := flag.String("json", "", "path to write the live benchmark report as JSON (with -live)")
 	flag.Parse()
 
-	if err := run(*fig, *duration, *seed, *csvDir); err != nil {
+	var err error
+	if *liveMode {
+		err = runLive(*duration, *seed, *jsonPath)
+	} else {
+		err = run(*fig, *duration, *seed, *csvDir)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tstorm-bench:", err)
 		os.Exit(1)
 	}

@@ -10,6 +10,7 @@ import (
 	"tstorm/internal/loaddb"
 	"tstorm/internal/scheduler"
 	"tstorm/internal/sim"
+	"tstorm/internal/topology"
 	"tstorm/internal/trace"
 )
 
@@ -189,23 +190,15 @@ func (g *Generator) generate(force bool) bool {
 	if len(topos) == 0 {
 		return false
 	}
-	in := &scheduler.Input{
-		Cluster:          g.rt.Cluster(),
-		Load:             g.db.Snapshot(),
-		CapacityFraction: g.cfg.CapacityFraction,
-		Occupied:         make(map[cluster.SlotID]bool),
-	}
-	// Failed nodes are off limits until they recover.
-	for _, down := range g.rt.DownNodes() {
-		if node, ok := g.rt.Cluster().Node(down); ok {
-			for p := 0; p < node.NumSlots; p++ {
-				in.Occupied[cluster.SlotID{Node: down, Port: cluster.BasePort + p}] = true
-			}
-		}
-	}
+	var tops []*topology.Topology
 	for _, name := range topos {
 		app, _ := g.rt.App(name)
-		in.Topologies = append(in.Topologies, app.Topology)
+		tops = append(tops, app.Topology)
+	}
+	in := scheduler.NewInput(tops, g.rt.Cluster(), g.db.Snapshot(), g.cfg.CapacityFraction)
+	// Failed nodes are off limits until they recover.
+	for _, down := range g.rt.DownNodes() {
+		in.OccupyNode(down)
 	}
 	global, err := g.algo.Schedule(in)
 	if err != nil {

@@ -1,0 +1,226 @@
+package live
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"tstorm/internal/tuple"
+)
+
+// The live runtime's wire codec: a compact, type-preserving binary
+// encoding of tuple payloads, applied on every transfer that crosses a
+// worker-process boundary. It exists to make remote hops cost real CPU
+// (and local hops none), so the serialization work Algorithm 1 removes by
+// co-locating chatty executors is real work — but it is also a faithful
+// round-trip: every common payload type decodes back to the exact Go type
+// that was encoded. Values outside the supported set are passed by
+// reference in a side list and charged only a tag byte, keeping the
+// engine total over arbitrary payloads.
+
+const (
+	tagNil = iota
+	tagString
+	tagBytes
+	tagBool
+	tagInt
+	tagInt8
+	tagInt16
+	tagInt32
+	tagInt64
+	tagUint
+	tagUint8
+	tagUint16
+	tagUint32
+	tagUint64
+	tagFloat32
+	tagFloat64
+	tagExtra // passed by reference via the extras list
+)
+
+// encodeValues serializes a payload. Unsupported values land in extras in
+// order of appearance.
+func encodeValues(vals tuple.Values) ([]byte, []any) {
+	buf := make([]byte, 0, 16+8*len(vals))
+	buf = binary.AppendUvarint(buf, uint64(len(vals)))
+	var extras []any
+	for _, v := range vals {
+		switch x := v.(type) {
+		case nil:
+			buf = append(buf, tagNil)
+		case string:
+			buf = append(buf, tagString)
+			buf = binary.AppendUvarint(buf, uint64(len(x)))
+			buf = append(buf, x...)
+		case []byte:
+			buf = append(buf, tagBytes)
+			buf = binary.AppendUvarint(buf, uint64(len(x)))
+			buf = append(buf, x...)
+		case bool:
+			b := byte(0)
+			if x {
+				b = 1
+			}
+			buf = append(buf, tagBool, b)
+		case int:
+			buf = append(buf, tagInt)
+			buf = binary.AppendVarint(buf, int64(x))
+		case int8:
+			buf = append(buf, tagInt8)
+			buf = binary.AppendVarint(buf, int64(x))
+		case int16:
+			buf = append(buf, tagInt16)
+			buf = binary.AppendVarint(buf, int64(x))
+		case int32:
+			buf = append(buf, tagInt32)
+			buf = binary.AppendVarint(buf, int64(x))
+		case int64:
+			buf = append(buf, tagInt64)
+			buf = binary.AppendVarint(buf, x)
+		case uint:
+			buf = append(buf, tagUint)
+			buf = binary.AppendUvarint(buf, uint64(x))
+		case uint8:
+			buf = append(buf, tagUint8)
+			buf = binary.AppendUvarint(buf, uint64(x))
+		case uint16:
+			buf = append(buf, tagUint16)
+			buf = binary.AppendUvarint(buf, uint64(x))
+		case uint32:
+			buf = append(buf, tagUint32)
+			buf = binary.AppendUvarint(buf, uint64(x))
+		case uint64:
+			buf = append(buf, tagUint64)
+			buf = binary.AppendUvarint(buf, x)
+		case float32:
+			buf = append(buf, tagFloat32)
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(x))
+		case float64:
+			buf = append(buf, tagFloat64)
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+		default:
+			buf = append(buf, tagExtra)
+			buf = binary.AppendUvarint(buf, uint64(len(extras)))
+			extras = append(extras, v)
+		}
+	}
+	return buf, extras
+}
+
+// decodeValues reverses encodeValues.
+func decodeValues(buf []byte, extras []any) (tuple.Values, error) {
+	n, off := binary.Uvarint(buf)
+	if off <= 0 {
+		return nil, fmt.Errorf("live: bad payload header")
+	}
+	pos := off
+	vals := make(tuple.Values, 0, n)
+	readUvarint := func() (uint64, error) {
+		v, w := binary.Uvarint(buf[pos:])
+		if w <= 0 {
+			return 0, fmt.Errorf("live: truncated uvarint at %d", pos)
+		}
+		pos += w
+		return v, nil
+	}
+	readVarint := func() (int64, error) {
+		v, w := binary.Varint(buf[pos:])
+		if w <= 0 {
+			return 0, fmt.Errorf("live: truncated varint at %d", pos)
+		}
+		pos += w
+		return v, nil
+	}
+	for i := uint64(0); i < n; i++ {
+		if pos >= len(buf) {
+			return nil, fmt.Errorf("live: truncated payload at value %d", i)
+		}
+		tag := buf[pos]
+		pos++
+		switch tag {
+		case tagNil:
+			vals = append(vals, nil)
+		case tagString, tagBytes:
+			l, err := readUvarint()
+			if err != nil {
+				return nil, err
+			}
+			if pos+int(l) > len(buf) {
+				return nil, fmt.Errorf("live: truncated %d-byte value at %d", l, pos)
+			}
+			raw := buf[pos : pos+int(l)]
+			pos += int(l)
+			if tag == tagString {
+				vals = append(vals, string(raw))
+			} else {
+				cp := make([]byte, l)
+				copy(cp, raw)
+				vals = append(vals, cp)
+			}
+		case tagBool:
+			if pos >= len(buf) {
+				return nil, fmt.Errorf("live: truncated bool at %d", pos)
+			}
+			vals = append(vals, buf[pos] == 1)
+			pos++
+		case tagInt, tagInt8, tagInt16, tagInt32, tagInt64:
+			v, err := readVarint()
+			if err != nil {
+				return nil, err
+			}
+			switch tag {
+			case tagInt:
+				vals = append(vals, int(v))
+			case tagInt8:
+				vals = append(vals, int8(v))
+			case tagInt16:
+				vals = append(vals, int16(v))
+			case tagInt32:
+				vals = append(vals, int32(v))
+			default:
+				vals = append(vals, v)
+			}
+		case tagUint, tagUint8, tagUint16, tagUint32, tagUint64:
+			v, err := readUvarint()
+			if err != nil {
+				return nil, err
+			}
+			switch tag {
+			case tagUint:
+				vals = append(vals, uint(v))
+			case tagUint8:
+				vals = append(vals, uint8(v))
+			case tagUint16:
+				vals = append(vals, uint16(v))
+			case tagUint32:
+				vals = append(vals, uint32(v))
+			default:
+				vals = append(vals, v)
+			}
+		case tagFloat32:
+			if pos+4 > len(buf) {
+				return nil, fmt.Errorf("live: truncated float32 at %d", pos)
+			}
+			vals = append(vals, math.Float32frombits(binary.LittleEndian.Uint32(buf[pos:])))
+			pos += 4
+		case tagFloat64:
+			if pos+8 > len(buf) {
+				return nil, fmt.Errorf("live: truncated float64 at %d", pos)
+			}
+			vals = append(vals, math.Float64frombits(binary.LittleEndian.Uint64(buf[pos:])))
+			pos += 8
+		case tagExtra:
+			idx, err := readUvarint()
+			if err != nil {
+				return nil, err
+			}
+			if idx >= uint64(len(extras)) {
+				return nil, fmt.Errorf("live: extra index %d out of range", idx)
+			}
+			vals = append(vals, extras[idx])
+		default:
+			return nil, fmt.Errorf("live: unknown payload tag %d", tag)
+		}
+	}
+	return vals, nil
+}

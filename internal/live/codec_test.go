@@ -1,0 +1,76 @@
+package live
+
+import (
+	"reflect"
+	"testing"
+
+	"tstorm/internal/tuple"
+)
+
+type opaque struct{ s string }
+
+func TestCodecRoundTripPreservesTypes(t *testing.T) {
+	in := tuple.Values{
+		nil,
+		"hello",
+		[]byte{1, 2, 3},
+		true,
+		false,
+		int(-42),
+		int8(-8),
+		int16(-16),
+		int32(-32),
+		int64(-64),
+		uint(42),
+		uint8(8),
+		uint16(16),
+		uint32(32),
+		uint64(64),
+		float32(2.5),
+		float64(-3.75),
+		opaque{s: "by-reference"},
+	}
+	enc, extras := encodeValues(in)
+	if len(extras) != 1 {
+		t.Fatalf("extras = %d, want 1", len(extras))
+	}
+	out, err := decodeValues(enc, extras)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tuple.Values(out), in) {
+		t.Fatalf("round trip mismatch:\n in  %#v\n out %#v", in, out)
+	}
+	for i := range in {
+		if in[i] == nil {
+			continue
+		}
+		if reflect.TypeOf(out[i]) != reflect.TypeOf(in[i]) {
+			t.Fatalf("value %d: type %T became %T", i, in[i], out[i])
+		}
+	}
+}
+
+func TestCodecEmptyAndErrors(t *testing.T) {
+	enc, extras := encodeValues(nil)
+	out, err := decodeValues(enc, extras)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty round trip: %v, %v", out, err)
+	}
+	if _, err := decodeValues([]byte{}, nil); err == nil {
+		t.Fatal("empty buffer should fail")
+	}
+	// Truncated payload: claim one value, provide none.
+	if _, err := decodeValues([]byte{1}, nil); err == nil {
+		t.Fatal("truncated buffer should fail")
+	}
+	// Unknown tag.
+	if _, err := decodeValues([]byte{1, 200}, nil); err == nil {
+		t.Fatal("unknown tag should fail")
+	}
+	// Extra index out of range.
+	enc2, _ := encodeValues(tuple.Values{opaque{}})
+	if _, err := decodeValues(enc2, nil); err == nil {
+		t.Fatal("missing extras should fail")
+	}
+}

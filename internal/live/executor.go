@@ -1,0 +1,245 @@
+package live
+
+import (
+	"math/rand/v2"
+	"sync/atomic"
+	"time"
+
+	"tstorm/internal/engine"
+	"tstorm/internal/topology"
+	"tstorm/internal/tuple"
+)
+
+type execKind int
+
+const (
+	spoutExec execKind = iota + 1
+	boltExec
+	ackerExec
+)
+
+// liveMsg is one tuple in flight between two executors. For remote hops
+// (different slots) the payload travels serialized in enc (+extras for
+// values the codec passes by reference) and tup.Values is nil until the
+// receiver decodes it — the receiver pays deserialization CPU, as a Storm
+// worker would.
+type liveMsg struct {
+	tup    tuple.Tuple
+	enc    []byte
+	extras []any
+	// bornAt is the wall-clock instant the root tuple left its spout,
+	// propagated downstream for end-to-end latency at terminal bolts.
+	bornAt time.Time
+	from   int // producer's dense index
+}
+
+// liveExec is one executor: a goroutine with (for bolts) a bounded input
+// queue. The queue is part of the executor and travels with it across
+// re-assignments — the per-executor queue handoff of smooth migration.
+type liveExec struct {
+	eng   *Engine
+	id    topology.ExecutorID
+	dense int
+	comp  *topology.Component
+	app   *engine.App
+	kind  execKind
+
+	spout engine.Spout
+	bolt  engine.Bolt
+	ctx   *engine.Context
+	rand  *rand.Rand
+
+	in       chan liveMsg
+	interval time.Duration
+	terminal bool
+
+	// shuffleCtr and scratch are touched only by the owning goroutine.
+	shuffleCtr map[string]int
+	scratch    byte
+
+	cpuNanos  atomic.Int64 // busy time since last monitor drain
+	processed atomic.Int64 // lifetime tuples processed
+	emitted   atomic.Int64 // lifetime emit calls
+}
+
+func (le *liveExec) run() {
+	defer le.eng.wg.Done()
+	switch le.kind {
+	case spoutExec:
+		le.runSpout()
+	case boltExec:
+		le.runBolt()
+	default:
+		// Acker executors are scheduled (they occupy assignment entries)
+		// but take no traffic: the live backend runs unanchored.
+		<-le.eng.stopCh
+	}
+}
+
+// haltPollInterval is how often a halted spout re-checks the halt flag.
+const haltPollInterval = 500 * time.Microsecond
+
+// runSpout drives emit cycles. As in Storm's spout executor, NextTuple is
+// called in a tight loop and the configured interval is slept only after
+// an empty cycle (idle backoff); when the topology is saturated the
+// bounded downstream queues provide the rate control.
+func (le *liveExec) runSpout() {
+	eng := le.eng
+	idleSleep := le.interval
+	for {
+		select {
+		case <-eng.stopCh:
+			return
+		default:
+		}
+		if eng.spoutsHalted.Load() {
+			if !le.sleep(haltPollInterval) {
+				return
+			}
+			continue
+		}
+		t0 := time.Now()
+		em := spoutEmitter{le: le}
+		le.spout.NextTuple(&em)
+		le.cpuNanos.Add(int64(time.Since(t0)))
+		if em.roots > 0 {
+			le.emitted.Add(int64(em.roots))
+			eng.rootsEmitted.Add(int64(em.roots))
+		}
+		delivered := true
+		for i := range em.deliveries {
+			if !eng.deliver(&em.deliveries[i]) {
+				delivered = false
+				break
+			}
+		}
+		if !delivered {
+			return // engine stopping
+		}
+		// Live mode runs unanchored: acknowledge reliable emissions
+		// immediately so spouts retire their in-flight state.
+		t1 := time.Now()
+		for _, id := range em.acks {
+			le.spout.Ack(id)
+		}
+		le.cpuNanos.Add(int64(time.Since(t1)))
+		if em.roots == 0 {
+			if !le.sleep(idleSleep) {
+				return
+			}
+		}
+	}
+}
+
+// sleep waits d or until the engine stops; it reports false on stop.
+func (le *liveExec) sleep(d time.Duration) bool {
+	select {
+	case <-le.eng.stopCh:
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
+
+func (le *liveExec) runBolt() {
+	eng := le.eng
+	for {
+		select {
+		case <-eng.stopCh:
+			return
+		case m := <-le.in:
+			if !le.process(m) {
+				return
+			}
+		}
+	}
+}
+
+// process runs the bolt on one input tuple and forwards its emissions.
+// The matching eng.pending decrement happens only after every downstream
+// emission is enqueued, so Quiesce cannot observe a momentarily-empty
+// system with work still materializing.
+func (le *liveExec) process(m liveMsg) bool {
+	eng := le.eng
+	t0 := time.Now()
+	if m.enc != nil {
+		vals, err := decodeValues(m.enc, m.extras)
+		if err != nil {
+			// Corrupt payload: drop the tuple (cannot happen with the
+			// symmetric codec; defensive).
+			le.cpuNanos.Add(int64(time.Since(t0)))
+			eng.pending.Add(-1)
+			return true
+		}
+		m.tup.Values = vals
+	}
+	em := boltEmitter{le: le, bornAt: m.bornAt}
+	le.bolt.Execute(m.tup, &em)
+	le.cpuNanos.Add(int64(time.Since(t0)))
+	le.processed.Add(1)
+	eng.processed.Add(1)
+	if le.terminal {
+		eng.sinkProcessed.Add(1)
+		if !m.bornAt.IsZero() {
+			eng.latency.Add(time.Since(m.bornAt).Seconds() * 1e3)
+		}
+	}
+	le.emitted.Add(int64(len(em.deliveries)))
+	ok := true
+	for i := range em.deliveries {
+		if !eng.deliver(&em.deliveries[i]) {
+			ok = false
+			break
+		}
+	}
+	eng.pending.Add(-1)
+	return ok
+}
+
+// ---- emitters ----
+
+type spoutEmitter struct {
+	le         *liveExec
+	deliveries []delivery
+	acks       []any
+	roots      int
+}
+
+var _ engine.SpoutEmitter = (*spoutEmitter)(nil)
+
+func (e *spoutEmitter) Emit(stream string, vals tuple.Values) {
+	n := e.le.route(&e.deliveries, stream, vals, time.Now())
+	if n >= 0 {
+		e.roots++
+	}
+}
+
+func (e *spoutEmitter) EmitWithID(stream string, vals tuple.Values, msgID any) {
+	n := e.le.route(&e.deliveries, stream, vals, time.Now())
+	if n >= 0 {
+		e.roots++
+		e.acks = append(e.acks, msgID)
+	}
+}
+
+func (e *spoutEmitter) EmitDirect(consumer string, taskIndex int, stream string, vals tuple.Values) {
+	if e.le.routeDirect(&e.deliveries, consumer, taskIndex, stream, vals, time.Now()) {
+		e.roots++
+	}
+}
+
+type boltEmitter struct {
+	le         *liveExec
+	bornAt     time.Time
+	deliveries []delivery
+}
+
+var _ engine.Emitter = (*boltEmitter)(nil)
+
+func (e *boltEmitter) Emit(stream string, vals tuple.Values) {
+	e.le.route(&e.deliveries, stream, vals, e.bornAt)
+}
+
+func (e *boltEmitter) EmitDirect(consumer string, taskIndex int, stream string, vals tuple.Values) {
+	e.le.routeDirect(&e.deliveries, consumer, taskIndex, stream, vals, e.bornAt)
+}

@@ -1,0 +1,84 @@
+package live
+
+import (
+	"fmt"
+
+	"tstorm/internal/cluster"
+)
+
+// Apply migrates the named topology to the given assignment with the
+// paper's smoothing (§IV-D), adapted to in-process workers:
+//
+//  1. spouts are halted, so no new roots enter the topology;
+//  2. the engine quiesces — in-flight tuples drain through their bolts
+//     (bounded by DrainTimeout; on timeout the move proceeds and each
+//     executor's bounded input queue travels with it, so nothing is lost
+//     either way);
+//  3. executors whose slot changed are handed off between worker groups
+//     and the routing table is swapped atomically;
+//  4. spouts resume after SpoutHaltDelay.
+//
+// Unlike Storm's abrupt re-assignment there is no worker restart and no
+// executor state loss: migration changes which emulated node pays the
+// executor's boundary costs. Apply returns the number of executors moved.
+func (eng *Engine) Apply(name string, next *cluster.Assignment) (int, error) {
+	eng.applyMu.Lock()
+	defer eng.applyMu.Unlock()
+
+	eng.mu.RLock()
+	app, ok := eng.apps[name]
+	cur := eng.assign[name]
+	eng.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("live: unknown topology %q", name)
+	}
+	for _, e := range app.Topology.Executors() {
+		s, ok := next.Slot(e)
+		if !ok {
+			return 0, fmt.Errorf("live: executor %v missing from new assignment", e)
+		}
+		if _, ok := eng.cl.Node(s.Node); !ok {
+			return 0, fmt.Errorf("live: executor %v assigned to unknown node %q", e, s.Node)
+		}
+	}
+	if cur.Equal(next) {
+		return 0, nil
+	}
+
+	eng.HaltSpouts()
+	defer eng.resumeSpoutsAfter(eng.cfg.SpoutHaltDelay)
+	eng.Quiesce(eng.cfg.DrainTimeout)
+
+	eng.mu.Lock()
+	moved := 0
+	for _, e := range app.Topology.Executors() {
+		s := next.Executors[e]
+		old := eng.placement[e]
+		if old == s {
+			continue
+		}
+		le := eng.execs[e]
+		eng.groups[old] = removeFromGroup(eng.groups[old], le)
+		if len(eng.groups[old]) == 0 {
+			delete(eng.groups, old)
+		}
+		eng.groups[s] = append(eng.groups[s], le)
+		eng.placement[e] = s
+		moved++
+	}
+	eng.assign[name] = next.Clone()
+	eng.mu.Unlock()
+
+	eng.migrations.Add(int64(moved))
+	eng.applies.Add(1)
+	return moved, nil
+}
+
+func removeFromGroup(g []*liveExec, le *liveExec) []*liveExec {
+	for i, p := range g {
+		if p == le {
+			return append(g[:i], g[i+1:]...)
+		}
+	}
+	return g
+}

@@ -1,0 +1,118 @@
+package live
+
+import (
+	"sync/atomic"
+	"time"
+
+	"tstorm/internal/loaddb"
+	"tstorm/internal/topology"
+)
+
+// DefaultMonitorPeriod is the paper's load-monitoring period.
+const DefaultMonitorPeriod = 20 * time.Second
+
+// Monitor is the live-runtime load monitor (§IV-B over wall-clock time):
+// every period it drains each executor's accumulated CPU time and the
+// inter-executor tuple counts, converts them to instantaneous MHz and
+// tuples/s, and folds the whole window into the load database — the same
+// EWMA pipeline the simulated monitors feed, so the unchanged scheduling
+// algorithms consume live measurements transparently.
+type Monitor struct {
+	eng    *Engine
+	db     *loaddb.DB
+	period time.Duration
+
+	// knownFlows tracks pairs ever seen so silent pairs decay toward 0
+	// instead of freezing at their last estimate.
+	knownFlows map[loaddb.FlowKey]bool
+	samples    atomic.Int64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartMonitor launches the sampling goroutine. The first sample is taken
+// one full period after start.
+func StartMonitor(eng *Engine, db *loaddb.DB, period time.Duration) *Monitor {
+	if period <= 0 {
+		period = DefaultMonitorPeriod
+	}
+	m := &Monitor{
+		eng:        eng,
+		db:         db,
+		period:     period,
+		knownFlows: make(map[loaddb.FlowKey]bool),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	go m.loop()
+	return m
+}
+
+func (m *Monitor) loop() {
+	defer close(m.done)
+	tk := time.NewTicker(m.period)
+	defer tk.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-m.eng.stopCh:
+			return
+		case <-tk.C:
+			m.Sample()
+		}
+	}
+}
+
+// Stop halts sampling and waits for the goroutine to exit.
+func (m *Monitor) Stop() {
+	select {
+	case <-m.stop:
+	default:
+		close(m.stop)
+	}
+	<-m.done
+}
+
+// Samples reports how many sampling rounds have run.
+func (m *Monitor) Samples() int { return int(m.samples.Load()) }
+
+// Period returns the sampling period.
+func (m *Monitor) Period() time.Duration { return m.period }
+
+// Sample performs one sampling round: drain CPU counters and the traffic
+// matrix, convert to MHz and tuples/s, and batch the window into the
+// database.
+func (m *Monitor) Sample() {
+	m.samples.Add(1)
+	secs := m.period.Seconds()
+	eng := m.eng
+
+	eng.mu.RLock()
+	execs := make([]*liveExec, 0, len(eng.execs))
+	for _, le := range eng.execs {
+		execs = append(execs, le)
+	}
+	denseRev := eng.denseRev
+	eng.mu.RUnlock()
+
+	loads := make(map[topology.ExecutorID]float64, len(execs))
+	for _, le := range execs {
+		nanos := le.cpuNanos.Swap(0)
+		loads[le.id] = float64(nanos) / 1e9 / secs * eng.cfg.RefMHz
+	}
+
+	flows := make(map[loaddb.FlowKey]float64)
+	for p, count := range eng.traffic.Drain() {
+		k := loaddb.FlowKey{From: denseRev[p.From], To: denseRev[p.To]}
+		flows[k] = count / secs
+		m.knownFlows[k] = true
+	}
+	for k := range m.knownFlows {
+		if _, active := flows[k]; !active {
+			flows[k] = 0
+		}
+	}
+	m.db.ApplyWindow(loads, flows)
+}

@@ -1,0 +1,104 @@
+package live
+
+import (
+	"reflect"
+	"testing"
+
+	"tstorm/internal/cluster"
+	"tstorm/internal/core"
+	"tstorm/internal/loaddb"
+	"tstorm/internal/scheduler"
+	"tstorm/internal/topology"
+)
+
+// TestLiveSimSchedulingParity feeds identical measurement windows through
+// both ingestion paths — the simulated monitors' per-sample
+// UpdateExecutorLoad/UpdateTraffic calls and the live monitor's batched
+// ApplyWindow — and asserts the load database converges to the same
+// snapshot and, therefore, that the unchanged Algorithm 1 produces the
+// identical assignment regardless of which backend produced the
+// measurements.
+func TestLiveSimSchedulingParity(t *testing.T) {
+	b := topology.NewBuilder("wc", 3)
+	b.Spout("src", 2).Output("", "line")
+	b.Bolt("split", 2).Shuffle("src").Output("", "word")
+	b.Bolt("count", 3).Fields("split", "word")
+	top, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cluster.Uniform(3, 4, 2000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := func(comp string, i int) topology.ExecutorID {
+		return topology.ExecutorID{Topology: "wc", Component: comp, Index: i}
+	}
+
+	// Three deterministic monitoring windows with skewed, drifting rates.
+	type window struct {
+		loads map[topology.ExecutorID]float64
+		flows map[loaddb.FlowKey]float64
+	}
+	var windows []window
+	for w := 0; w < 3; w++ {
+		drift := float64(w) * 7.5
+		loads := make(map[topology.ExecutorID]float64)
+		flows := make(map[loaddb.FlowKey]float64)
+		for i := 0; i < 2; i++ {
+			loads[ex("src", i)] = 120 + 40*float64(i) + drift
+			loads[ex("split", i)] = 200 - 35*float64(i) + drift
+		}
+		for i := 0; i < 3; i++ {
+			loads[ex("count", i)] = 90 + 25*float64(i) - drift
+		}
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				flows[loaddb.FlowKey{From: ex("src", i), To: ex("split", j)}] =
+					900 + 300*float64(i) - 150*float64(j) + drift
+			}
+			for j := 0; j < 3; j++ {
+				flows[loaddb.FlowKey{From: ex("split", i), To: ex("count", j)}] =
+					500 + 120*float64(j) - 90*float64(i) - drift
+			}
+		}
+		windows = append(windows, window{loads: loads, flows: flows})
+	}
+
+	dbSim := loaddb.New(0.5)
+	dbLive := loaddb.New(0.5)
+	for _, w := range windows {
+		for e, mhz := range w.loads {
+			dbSim.UpdateExecutorLoad(e, mhz)
+		}
+		for k, r := range w.flows {
+			dbSim.UpdateTraffic(k.From, k.To, r)
+		}
+		dbLive.ApplyWindow(w.loads, w.flows)
+	}
+
+	snapSim, snapLive := dbSim.Snapshot(), dbLive.Snapshot()
+	if !reflect.DeepEqual(snapSim, snapLive) {
+		t.Fatalf("snapshots diverge:\n sim  %+v\n live %+v", snapSim, snapLive)
+	}
+
+	algo := core.NewTrafficAware(1.5)
+	tops := []*topology.Topology{top}
+	aSim, err := algo.Schedule(scheduler.NewInput(tops, cl, snapSim, 0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aLive, err := algo.Schedule(scheduler.NewInput(tops, cl, snapLive, 0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !aSim.Equal(aLive) {
+		t.Fatalf("assignments diverge:\n sim  %v\n live %v", aSim.Executors, aLive.Executors)
+	}
+	// The schedule must cover every executor.
+	for _, e := range top.Executors() {
+		if _, ok := aSim.Slot(e); !ok {
+			t.Errorf("executor %v unplaced", e)
+		}
+	}
+}

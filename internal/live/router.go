@@ -1,0 +1,200 @@
+package live
+
+import (
+	"time"
+
+	"tstorm/internal/cluster"
+	"tstorm/internal/topology"
+	"tstorm/internal/tuple"
+)
+
+// hopKind classifies a transfer by the boundary it crosses.
+type hopKind int
+
+const (
+	hopLocal     hopKind = iota // same worker process: pass by reference
+	hopInterProc                // different slots, same node: serialize
+	hopInterNode                // different nodes: serialize + copy work
+)
+
+// delivery is one routed, costed transfer awaiting enqueue.
+type delivery struct {
+	to  *liveExec
+	msg liveMsg
+	hop hopKind
+}
+
+// route resolves one logical emission to per-target deliveries, paying the
+// sender-side boundary costs (serialization for remote hops, copy passes
+// for inter-node hops). It returns the number of deliveries appended, or
+// -1 if the stream is undeclared. Direct-grouping subscribers are skipped,
+// as in the simulated engine.
+func (le *liveExec) route(out *[]delivery, stream string, vals tuple.Values, bornAt time.Time) int {
+	if stream == "" {
+		stream = topology.DefaultStream
+	}
+	schema, ok := le.comp.Outputs[stream]
+	if !ok {
+		return -1
+	}
+	eng := le.eng
+	top := le.app.Topology
+	size := tuple.SizeOf(vals)
+	n := 0
+
+	eng.mu.RLock()
+	srcSlot := eng.placement[le.id]
+	for _, edge := range top.Consumers(le.comp.Name, stream) {
+		if edge.Grouping.Type == topology.DirectGrouping {
+			continue
+		}
+		cons, _ := top.Component(edge.Consumer)
+		for _, idx := range le.chooseTargetsLocked(edge, cons.Parallelism, schema, vals, srcSlot) {
+			tgt := eng.execs[topology.ExecutorID{Topology: le.id.Topology, Component: edge.Consumer, Index: idx}]
+			if tgt == nil || tgt.in == nil {
+				continue
+			}
+			*out = append(*out, le.makeDelivery(tgt, srcSlot, eng.placement[tgt.id], stream, vals, size, bornAt))
+			n++
+		}
+	}
+	eng.mu.RUnlock()
+	return n
+}
+
+// routeDirect resolves an EmitDirect call; it reports whether a delivery
+// was appended.
+func (le *liveExec) routeDirect(out *[]delivery, consumer string, taskIndex int, stream string, vals tuple.Values, bornAt time.Time) bool {
+	if stream == "" {
+		stream = topology.DefaultStream
+	}
+	if _, ok := le.comp.Outputs[stream]; !ok {
+		return false
+	}
+	top := le.app.Topology
+	cons, ok := top.Component(consumer)
+	if !ok || taskIndex < 0 || taskIndex >= cons.Parallelism {
+		return false
+	}
+	eng := le.eng
+	eng.mu.RLock()
+	defer eng.mu.RUnlock()
+	tgt := eng.execs[topology.ExecutorID{Topology: le.id.Topology, Component: consumer, Index: taskIndex}]
+	if tgt == nil || tgt.in == nil {
+		return false
+	}
+	srcSlot := eng.placement[le.id]
+	*out = append(*out, le.makeDelivery(tgt, srcSlot, eng.placement[tgt.id], stream, vals,
+		tuple.SizeOf(vals), bornAt))
+	return true
+}
+
+// makeDelivery builds one transfer, paying the sender-side cost of the
+// boundary it crosses. Local deliveries share the Values slice (tuples are
+// immutable by contract); remote deliveries carry the encoded payload and
+// the receiver decodes it.
+func (le *liveExec) makeDelivery(tgt *liveExec, srcSlot, dstSlot cluster.SlotID, stream string, vals tuple.Values, size int, bornAt time.Time) delivery {
+	tup := tuple.Tuple{
+		Stream:       stream,
+		SrcComponent: le.comp.Name,
+		SrcTask:      le.id.Index,
+		Size:         size,
+	}
+	d := delivery{to: tgt, msg: liveMsg{tup: tup, bornAt: bornAt, from: le.dense}}
+	switch {
+	case srcSlot == dstSlot:
+		d.hop = hopLocal
+		d.msg.tup.Values = vals
+	case srcSlot.Node == dstSlot.Node:
+		d.hop = hopInterProc
+		d.msg.enc, d.msg.extras = encodeValues(vals)
+	default:
+		d.hop = hopInterNode
+		d.msg.enc, d.msg.extras = encodeValues(vals)
+		// Kernel/NIC copy work: extra passes over the wire bytes.
+		for i := 0; i < le.eng.cfg.InterNodeCopies; i++ {
+			for _, b := range d.msg.enc {
+				le.scratch ^= b
+			}
+		}
+		// Per-message network-stack cost, burned on the sender's goroutine.
+		// Emitters run inside the executor's timed NextTuple/Execute window,
+		// so this also shows up in the monitor's load measurements.
+		if wc := le.eng.cfg.WireCost; wc > 0 {
+			for t0 := time.Now(); time.Since(t0) < wc; { //nolint:staticcheck // busy-wait is the point
+			}
+		}
+	}
+	return d
+}
+
+// chooseTargetsLocked picks the receiving task indexes for one consumer
+// edge. Caller holds eng.mu (read): LocalOrShuffleGrouping inspects the
+// sender's worker group. The logic mirrors the simulated engine's
+// chooseTargets so both backends route identically.
+func (le *liveExec) chooseTargetsLocked(edge topology.ConsumerEdge, parallelism int, schema tuple.Fields, vals tuple.Values, srcSlot cluster.SlotID) []int {
+	switch edge.Grouping.Type {
+	case topology.ShuffleGrouping:
+		key := edge.Consumer + "\x00" + edge.Grouping.SourceStream
+		i := le.shuffleCtr[key]
+		le.shuffleCtr[key] = i + 1
+		return []int{(i + le.id.Index) % parallelism}
+	case topology.LocalOrShuffleGrouping:
+		var local []int
+		for _, peer := range le.eng.groups[srcSlot] {
+			if peer.id.Component == edge.Consumer {
+				local = append(local, peer.id.Index)
+			}
+		}
+		key := edge.Consumer + "\x00local\x00" + edge.Grouping.SourceStream
+		i := le.shuffleCtr[key]
+		le.shuffleCtr[key] = i + 1
+		if len(local) > 0 {
+			return []int{local[(i+le.id.Index)%len(local)]}
+		}
+		return []int{(i + le.id.Index) % parallelism}
+	case topology.FieldsGrouping:
+		key := ""
+		for _, fn := range edge.Grouping.FieldNames {
+			idx, ok := schema.Index(fn)
+			if !ok || idx >= len(vals) {
+				continue
+			}
+			key += tuple.KeyString(vals[idx]) + "\x1f"
+		}
+		return []int{tuple.HashKey(key, parallelism)}
+	case topology.AllGrouping:
+		out := make([]int, parallelism)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	case topology.GlobalGrouping:
+		return []int{0}
+	default:
+		return nil
+	}
+}
+
+// deliver enqueues one routed transfer, blocking while the target queue is
+// full (backpressure). It reports false when the engine is stopping. The
+// transfer is counted only once enqueued, so the statistics match what
+// receivers will actually observe.
+func (eng *Engine) deliver(d *delivery) bool {
+	eng.pending.Add(1)
+	select {
+	case d.to.in <- d.msg:
+	case <-eng.stopCh:
+		eng.pending.Add(-1)
+		return false
+	}
+	eng.tuplesSent.Add(1)
+	switch d.hop {
+	case hopInterNode:
+		eng.interNodeSent.Add(1)
+	case hopInterProc:
+		eng.interProcSent.Add(1)
+	}
+	eng.traffic.Add(d.msg.from, d.to.dense, 1)
+	return true
+}

@@ -1,0 +1,87 @@
+package live
+
+import (
+	"tstorm/internal/metrics"
+	"tstorm/internal/topology"
+)
+
+// Totals is a snapshot of the engine's lifetime counters. Subtracting two
+// snapshots measures a window — benchmarks take one before and one after
+// a measurement phase.
+type Totals struct {
+	// RootsEmitted counts spout root tuples.
+	RootsEmitted int64
+	// TuplesSent counts executor-to-executor transfers.
+	TuplesSent int64
+	// InterNodeSent counts transfers that crossed an emulated node
+	// boundary (paying serialization + copy work).
+	InterNodeSent int64
+	// InterProcessSent counts transfers between slots on one node
+	// (paying serialization only).
+	InterProcessSent int64
+	// Processed counts tuples processed by bolts.
+	Processed int64
+	// SinkProcessed counts tuples processed by terminal bolts.
+	SinkProcessed int64
+	// Migrations counts executors moved across all Apply calls.
+	Migrations int64
+	// Applies counts applied re-assignments.
+	Applies int64
+}
+
+// Totals returns the current counter snapshot.
+func (eng *Engine) Totals() Totals {
+	return Totals{
+		RootsEmitted:     eng.rootsEmitted.Load(),
+		TuplesSent:       eng.tuplesSent.Load(),
+		InterNodeSent:    eng.interNodeSent.Load(),
+		InterProcessSent: eng.interProcSent.Load(),
+		Processed:        eng.processed.Load(),
+		SinkProcessed:    eng.sinkProcessed.Load(),
+		Migrations:       eng.migrations.Load(),
+		Applies:          eng.applies.Load(),
+	}
+}
+
+// Sub returns the per-counter difference t - o.
+func (t Totals) Sub(o Totals) Totals {
+	return Totals{
+		RootsEmitted:     t.RootsEmitted - o.RootsEmitted,
+		TuplesSent:       t.TuplesSent - o.TuplesSent,
+		InterNodeSent:    t.InterNodeSent - o.InterNodeSent,
+		InterProcessSent: t.InterProcessSent - o.InterProcessSent,
+		Processed:        t.Processed - o.Processed,
+		SinkProcessed:    t.SinkProcessed - o.SinkProcessed,
+		Migrations:       t.Migrations - o.Migrations,
+		Applies:          t.Applies - o.Applies,
+	}
+}
+
+// InterNodeFraction is the fraction of transfers that crossed node
+// boundaries (0 when nothing was sent) — the live analogue of the paper's
+// inter-node traffic objective.
+func (t Totals) InterNodeFraction() float64 {
+	if t.TuplesSent == 0 {
+		return 0
+	}
+	return float64(t.InterNodeSent) / float64(t.TuplesSent)
+}
+
+// DrainLatency returns the end-to-end latency histogram accumulated since
+// the last drain (spout emit → terminal bolt completion, milliseconds) and
+// resets it for the next window.
+func (eng *Engine) DrainLatency() *metrics.Histogram {
+	return eng.latency.Drain()
+}
+
+// ExecutorProcessed reports one executor's lifetime processed-tuple count
+// (0 for unknown executors and spouts).
+func (eng *Engine) ExecutorProcessed(e topology.ExecutorID) int64 {
+	eng.mu.RLock()
+	le := eng.execs[e]
+	eng.mu.RUnlock()
+	if le == nil {
+		return 0
+	}
+	return le.processed.Load()
+}

@@ -103,6 +103,33 @@ func (db *DB) UpdateTraffic(from, to topology.ExecutorID, rate float64) {
 	est.Update(rate)
 }
 
+// ApplyWindow folds one whole monitoring window into the database under a
+// single lock acquisition: every executor's instantaneous workload (MHz)
+// and every pair's instantaneous rate (tuples/s). The live runtime's
+// monitor uses it so a window of dozens of samples costs one lock
+// round-trip instead of one per signal; the result is identical to calling
+// UpdateExecutorLoad / UpdateTraffic per entry.
+func (db *DB) ApplyWindow(loads map[topology.ExecutorID]float64, flows map[FlowKey]float64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for e, mhz := range loads {
+		est := db.load[e]
+		if est == nil {
+			est = db.factory()
+			db.load[e] = est
+		}
+		est.Update(mhz)
+	}
+	for k, rate := range flows {
+		est := db.flows[k]
+		if est == nil {
+			est = db.factory()
+			db.flows[k] = est
+		}
+		est.Update(rate)
+	}
+}
+
 // ExecutorLoad reads one executor's current estimate (0 if unknown).
 func (db *DB) ExecutorLoad(e topology.ExecutorID) float64 {
 	db.mu.Lock()

@@ -157,3 +157,50 @@ func TestCustomEstimatorIsUsed(t *testing.T) {
 		t.Fatalf("custom DB Alpha = %v, want 0", holt.Alpha())
 	}
 }
+
+func TestApplyWindowMatchesPerSampleUpdates(t *testing.T) {
+	// Two windows fed in batch must leave the DB in exactly the state the
+	// per-sample update path produces — the live monitor depends on it.
+	batch := New(0.5)
+	single := New(0.5)
+	windows := []struct {
+		loads map[topology.ExecutorID]float64
+		flows map[FlowKey]float64
+	}{
+		{
+			loads: map[topology.ExecutorID]float64{exec("t", "s", 0): 100, exec("t", "b", 0): 240},
+			flows: map[FlowKey]float64{{From: exec("t", "s", 0), To: exec("t", "b", 0)}: 500},
+		},
+		{
+			loads: map[topology.ExecutorID]float64{exec("t", "s", 0): 200, exec("t", "b", 1): 80},
+			flows: map[FlowKey]float64{
+				{From: exec("t", "s", 0), To: exec("t", "b", 0)}: 300,
+				{From: exec("t", "s", 0), To: exec("t", "b", 1)}: 100,
+			},
+		},
+	}
+	for _, w := range windows {
+		batch.ApplyWindow(w.loads, w.flows)
+		for e, v := range w.loads {
+			single.UpdateExecutorLoad(e, v)
+		}
+		for k, v := range w.flows {
+			single.UpdateTraffic(k.From, k.To, v)
+		}
+	}
+	a, b := batch.Snapshot(), single.Snapshot()
+	if len(a.ExecLoad) != len(b.ExecLoad) || len(a.Flows) != len(b.Flows) {
+		t.Fatalf("snapshot shapes differ: %d/%d loads, %d/%d flows",
+			len(a.ExecLoad), len(b.ExecLoad), len(a.Flows), len(b.Flows))
+	}
+	for e, v := range b.ExecLoad {
+		if a.ExecLoad[e] != v {
+			t.Fatalf("load %v: batch %v, single %v", e, a.ExecLoad[e], v)
+		}
+	}
+	for i, f := range b.Flows {
+		if a.Flows[i] != f {
+			t.Fatalf("flow %d: batch %+v, single %+v", i, a.Flows[i], f)
+		}
+	}
+}

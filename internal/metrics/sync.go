@@ -1,0 +1,102 @@
+package metrics
+
+import "sync"
+
+// SyncTrafficMatrix is a TrafficMatrix safe for concurrent use. The
+// simulated engine is single-threaded and uses TrafficMatrix directly; the
+// live runtime's executors report sends from many goroutines at once and
+// its monitor drains the matrix from yet another, so every operation takes
+// an internal lock.
+type SyncTrafficMatrix struct {
+	mu sync.Mutex
+	m  *TrafficMatrix
+}
+
+// NewSyncTrafficMatrix returns an empty concurrent matrix.
+func NewSyncTrafficMatrix() *SyncTrafficMatrix {
+	return &SyncTrafficMatrix{m: NewTrafficMatrix()}
+}
+
+// Add records n tuples sent from one executor to another.
+func (s *SyncTrafficMatrix) Add(from, to int, n float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m.Add(from, to, n)
+}
+
+// Get returns the current count for a pair.
+func (s *SyncTrafficMatrix) Get(from, to int) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Get(from, to)
+}
+
+// Drain returns all non-zero counts and resets the matrix.
+func (s *SyncTrafficMatrix) Drain() map[Pair]float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Drain()
+}
+
+// Snapshot returns a copy of the counts without resetting.
+func (s *SyncTrafficMatrix) Snapshot() map[Pair]float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Snapshot()
+}
+
+// SyncHistogram is a Histogram safe for concurrent use — the live runtime
+// records end-to-end tuple latencies from every sink executor goroutine.
+type SyncHistogram struct {
+	mu sync.Mutex
+	h  *Histogram
+}
+
+// NewSyncHistogram wraps a fresh histogram with the given shape.
+func NewSyncHistogram(lo, hi float64, binsPerDecade int) *SyncHistogram {
+	return &SyncHistogram{h: NewHistogram(lo, hi, binsPerDecade)}
+}
+
+// NewSyncLatencyHistogram covers the same range as NewLatencyHistogram.
+func NewSyncLatencyHistogram() *SyncHistogram {
+	return &SyncHistogram{h: NewLatencyHistogram()}
+}
+
+// Add records one value.
+func (s *SyncHistogram) Add(v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.h.Add(v)
+}
+
+// Count reports the number of recorded values.
+func (s *SyncHistogram) Count() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.h.Count()
+}
+
+// Mean reports the exact mean of recorded values (0 when empty).
+func (s *SyncHistogram) Mean() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.h.Mean()
+}
+
+// Quantile returns the approximate q-quantile (see Histogram.Quantile).
+func (s *SyncHistogram) Quantile(q float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.h.Quantile(q)
+}
+
+// Drain returns the accumulated histogram and replaces it with a fresh one
+// of the same shape, so callers can measure disjoint windows (e.g. before
+// and after a re-assignment).
+func (s *SyncHistogram) Drain() *Histogram {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.h
+	s.h = NewHistogram(out.lo, out.hi, out.binsPerDecade)
+	return out
+}

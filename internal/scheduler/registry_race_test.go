@@ -1,0 +1,55 @@
+package scheduler
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"tstorm/internal/cluster"
+)
+
+// namedAlgo is a minimal Algorithm for registry tests.
+type namedAlgo struct{ name string }
+
+func (a namedAlgo) Name() string                                  { return a.name }
+func (a namedAlgo) Schedule(*Input) (*cluster.Assignment, error) { return cluster.NewAssignment(0), nil }
+
+// TestRegistryConcurrentAccess hammers the hot-swap registry from many
+// goroutines at once — the schedule generator looks algorithms up while
+// operators register replacements. Run with -race.
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const rounds = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("algo-%d", w%4)
+			for i := 0; i < rounds; i++ {
+				switch i % 3 {
+				case 0:
+					r.Register(namedAlgo{name: name})
+				case 1:
+					if a, ok := r.Get(name); ok && a.Name() != name {
+						t.Errorf("Get(%q) returned %q", name, a.Name())
+						return
+					}
+				case 2:
+					for _, n := range r.Names() {
+						if n == "" {
+							t.Error("empty name in registry")
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	names := r.Names()
+	if len(names) != 4 {
+		t.Fatalf("registry has %d names, want 4: %v", len(names), names)
+	}
+}

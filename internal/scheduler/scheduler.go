@@ -36,6 +36,36 @@ type Input struct {
 	CapacityFraction float64
 }
 
+// NewInput assembles a scheduling Input from its parts — the single
+// construction path shared by the simulated schedule generator
+// (internal/core) and the live runtime's generator (internal/live), so
+// both backends hand algorithms inputs of identical shape. load may be nil
+// for offline/initial scheduling; capacityFraction 0 means full capacity.
+func NewInput(topos []*topology.Topology, cl *cluster.Cluster, load *loaddb.Snapshot, capacityFraction float64) *Input {
+	return &Input{
+		Topologies:       append([]*topology.Topology(nil), topos...),
+		Cluster:          cl,
+		Load:             load,
+		CapacityFraction: capacityFraction,
+		Occupied:         make(map[cluster.SlotID]bool),
+	}
+}
+
+// OccupyNode marks every slot of the named node occupied — how generators
+// fence off failed (or reserved) nodes from the algorithms.
+func (in *Input) OccupyNode(id cluster.NodeID) {
+	node, ok := in.Cluster.Node(id)
+	if !ok {
+		return
+	}
+	if in.Occupied == nil {
+		in.Occupied = make(map[cluster.SlotID]bool)
+	}
+	for p := 0; p < node.NumSlots; p++ {
+		in.Occupied[cluster.SlotID{Node: id, Port: cluster.BasePort + p}] = true
+	}
+}
+
 // NumExecutors is the paper's N_e: executors across all input topologies.
 func (in *Input) NumExecutors() int {
 	n := 0

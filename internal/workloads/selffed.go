@@ -1,0 +1,91 @@
+package workloads
+
+import (
+	"fmt"
+
+	"tstorm/internal/docstore"
+	"tstorm/internal/engine"
+	"tstorm/internal/textdata"
+	"tstorm/internal/topology"
+	"tstorm/internal/tuple"
+)
+
+// SelfFedWordCountConfig parameterizes the self-fed Word Count variant used
+// by the live (wall-clock) runtime: the reader spout synthesizes corpus
+// lines itself instead of popping a Redis list, so the pipeline is always
+// busy and measured throughput reflects processing (and serialization)
+// capacity rather than feed rate.
+type SelfFedWordCountConfig struct {
+	Spouts    int
+	Splitters int
+	Counters  int
+	Mongos    int
+	Workers   int
+	// Sink is the Mongo-like store running counts are saved to.
+	Sink *docstore.Store
+}
+
+// DefaultSelfFedWordCountConfig scales the paper's Word Count down to a
+// size a single host executes comfortably.
+func DefaultSelfFedWordCountConfig() SelfFedWordCountConfig {
+	return SelfFedWordCountConfig{
+		Spouts:    2,
+		Splitters: 4,
+		Counters:  4,
+		Mongos:    2,
+		Workers:   8,
+	}
+}
+
+// corpusSpout emits corpus lines in an interleaved sequence: spout i of p
+// emits lines i, i+p, i+2p, ... so parallel spouts never duplicate work.
+// It never idles; the bounded downstream queues provide the rate control.
+type corpusSpout struct {
+	idx, step, seq int
+}
+
+var _ engine.Spout = (*corpusSpout)(nil)
+
+func (s *corpusSpout) Open(ctx *engine.Context) {
+	s.idx, s.step = ctx.Index, ctx.Parallelism
+}
+
+func (s *corpusSpout) NextTuple(em engine.SpoutEmitter) {
+	em.Emit("", tuple.Values{textdata.Line(s.idx + s.seq*s.step)})
+	s.seq++
+}
+
+func (s *corpusSpout) Ack(any)  {}
+func (s *corpusSpout) Fail(any) {}
+
+// NewSelfFedWordCount builds the self-fed Word Count app: generator spout →
+// SplitSentence (local-or-shuffle) → WordCount (fields on word) → Mongo
+// sink (local-or-shuffle). The component code is shared with the Redis-fed
+// variant; the shuffle edges use Storm's locality-aware variant so that
+// traffic-aware placement pays off twice — co-located pairs skip
+// serialization AND local-or-shuffle then keeps their tuples local.
+func NewSelfFedWordCount(cfg SelfFedWordCountConfig) (*engine.App, error) {
+	if cfg.Sink == nil {
+		return nil, fmt.Errorf("workloads: self-fed word count needs a sink")
+	}
+	b := topology.NewBuilder("wordcount-live", cfg.Workers)
+	b.Spout("reader", cfg.Spouts).Output("default", "line")
+	b.Bolt("split", cfg.Splitters).LocalOrShuffle("reader").Output("default", "word")
+	b.Bolt("count", cfg.Counters).Fields("split", "word").Output("default", "word", "count")
+	b.Bolt("mongo", cfg.Mongos).LocalOrShuffle("count")
+	top, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &engine.App{
+		Topology: top,
+		Spouts: map[string]func() engine.Spout{
+			"reader": func() engine.Spout { return &corpusSpout{} },
+		},
+		Bolts: map[string]func() engine.Bolt{
+			"split": func() engine.Bolt { return splitSentenceBolt{} },
+			"count": func() engine.Bolt { return &wordCountBolt{} },
+			"mongo": func() engine.Bolt { return &mongoWordBolt{sink: cfg.Sink, coll: "words"} },
+		},
+	}, nil
+}

@@ -7,6 +7,12 @@
 // traffic-aware Algorithm 1 with its consolidation factor γ, a thin custom
 // scheduler, and the smooth re-assignment machinery of §IV-D.
 //
+// Two execution backends share that scheduling stack: the deterministic
+// simulation (Runtime + Wire) and a live wall-clock engine that runs the
+// same Apps on real goroutines with bounded-channel queues (LiveEngine +
+// WireLive), where node boundaries are emulated by serialization and copy
+// cost so traffic-aware placement measurably raises real throughput.
+//
 // This root package is the public facade: it re-exports the main types
 // and provides Wire, which assembles the whole T-Storm stack in one call.
 // The examples/ directory shows complete programs; cmd/tstorm-bench
@@ -33,6 +39,7 @@ import (
 	"tstorm/internal/cluster"
 	"tstorm/internal/core"
 	"tstorm/internal/engine"
+	"tstorm/internal/live"
 	"tstorm/internal/loaddb"
 	"tstorm/internal/monitor"
 	"tstorm/internal/predictor"
@@ -109,6 +116,62 @@ type (
 	// MonitorFleet drives the per-node load monitors.
 	MonitorFleet = monitor.Fleet
 )
+
+// Live (wall-clock) runtime: the same App and scheduling brain on real
+// goroutines instead of the discrete-event simulation.
+type (
+	// LiveEngine executes topologies on one goroutine per executor with
+	// bounded-channel queues; worker groups map to cluster slots.
+	LiveEngine = live.Engine
+	// LiveConfig holds the live engine's knobs.
+	LiveConfig = live.Config
+	// LiveMonitor samples executor CPU and traffic over wall-clock windows.
+	LiveMonitor = live.Monitor
+	// LiveGenerator periodically schedules the live engine.
+	LiveGenerator = live.Generator
+	// LiveGeneratorConfig holds the live generator's knobs.
+	LiveGeneratorConfig = live.GeneratorConfig
+	// LiveTotals is a snapshot of the live engine's counters.
+	LiveTotals = live.Totals
+)
+
+// DefaultLiveConfig returns the live engine's default configuration.
+func DefaultLiveConfig() LiveConfig { return live.DefaultConfig() }
+
+// NewLiveEngine builds a wall-clock execution engine over the cluster.
+func NewLiveEngine(cfg LiveConfig, cl *Cluster) (*LiveEngine, error) {
+	return live.NewEngine(cfg, cl)
+}
+
+// LiveStack is the T-Storm scheduling architecture wired onto the live
+// runtime: the same load database and Algorithm 1 as Wire's Stack, fed by
+// wall-clock measurements instead of simulated ones.
+type LiveStack struct {
+	DB        *LoadDB
+	Monitor   *LiveMonitor
+	Generator *LiveGenerator
+}
+
+// WireLive assembles the T-Storm stack on a live engine: a wall-clock
+// monitor sampling every 20 s into an α=0.5 load DB and a schedule
+// generator running Algorithm 1 with the given γ every 300 s. Submit
+// topologies and Start the engine first.
+func WireLive(eng *LiveEngine, gamma float64) (*LiveStack, error) {
+	db := loaddb.New(0.5)
+	mon := live.StartMonitor(eng, db, live.DefaultMonitorPeriod)
+	gen, err := live.StartGenerator(eng, db, live.DefaultGeneratorConfig(), core.NewTrafficAware(gamma))
+	if err != nil {
+		mon.Stop()
+		return nil, err
+	}
+	return &LiveStack{DB: db, Monitor: mon, Generator: gen}, nil
+}
+
+// Stop halts the live stack's periodic work (not the engine itself).
+func (s *LiveStack) Stop() {
+	s.Monitor.Stop()
+	s.Generator.Stop()
+}
 
 // Observability.
 type (
