@@ -1,10 +1,14 @@
 #!/bin/sh
 # Tier-1 verification loop: build, vet, and run the full test suite with
 # the race detector enabled (the live runtime is heavily concurrent).
+# The routing-snapshot stress tests run first and explicitly so the
+# lock-free emission path is always exercised under the race detector,
+# even when the package list or cache state changes.
 # The experiment package replays full paper figures, which is slow under
 # the race detector — hence the raised per-package timeout.
 set -eux
 cd "$(dirname "$0")"
 go build ./...
 go vet ./...
+go test -race -count=1 -run 'TestRoutingSnapshotStress|TestRouteObservesSinglePlacement|TestEmissionsFlowWhileEngineLockHeld|TestMonitorStopConcurrent' ./internal/live
 go test -race -timeout 30m ./...

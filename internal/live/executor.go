@@ -34,8 +34,9 @@ type liveMsg struct {
 }
 
 // liveExec is one executor: a goroutine with (for bolts) a bounded input
-// queue. The queue is part of the executor and travels with it across
-// re-assignments — the per-executor queue handoff of smooth migration.
+// queue of delivery batches. The queue is part of the executor and
+// travels with it across re-assignments — the per-executor queue handoff
+// of smooth migration.
 type liveExec struct {
 	eng   *Engine
 	id    topology.ExecutorID
@@ -49,7 +50,7 @@ type liveExec struct {
 	ctx   *engine.Context
 	rand  *rand.Rand
 
-	in       chan liveMsg
+	in       chan []liveMsg
 	interval time.Duration
 	terminal bool
 
@@ -147,9 +148,11 @@ func (le *liveExec) runBolt() {
 		select {
 		case <-eng.stopCh:
 			return
-		case m := <-le.in:
-			if !le.process(m) {
-				return
+		case batch := <-le.in:
+			for i := range batch {
+				if !le.process(batch[i]) {
+					return
+				}
 			}
 		}
 	}
@@ -184,7 +187,11 @@ func (le *liveExec) process(m liveMsg) bool {
 			eng.latency.Add(time.Since(m.bornAt).Seconds() * 1e3)
 		}
 	}
-	le.emitted.Add(int64(len(em.deliveries)))
+	var sent int64
+	for i := range em.deliveries {
+		sent += int64(len(em.deliveries[i].msgs))
+	}
+	le.emitted.Add(sent)
 	ok := true
 	for i := range em.deliveries {
 		if !eng.deliver(&em.deliveries[i]) {

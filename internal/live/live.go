@@ -46,7 +46,9 @@ type Config struct {
 	// Seed drives the per-executor random sources.
 	Seed uint64
 	// QueueCapacity bounds each executor's input queue (default 1024).
-	// Senders block when a queue is full — the backpressure path.
+	// The queue holds per-cycle delivery batches (all tuples one emit
+	// cycle routed to that executor), so capacity is in batches, not
+	// tuples. Senders block when a queue is full — the backpressure path.
 	QueueCapacity int
 	// SpoutHaltDelay is how long spouts stay halted after a re-assignment
 	// is applied, so queues settle before new roots flow (paper: 10 s;
@@ -119,14 +121,21 @@ type Engine struct {
 	apps   map[string]*engine.App
 	assign map[string]*cluster.Assignment
 	execs  map[topology.ExecutorID]*liveExec
-	// placement mirrors assign flattened across topologies; the router
-	// reads it on every emission.
+	// placement mirrors assign flattened across topologies — the
+	// authoritative copy Submit/Apply mutate under mu. The router never
+	// reads it: emitters resolve targets from the routes snapshot below.
 	placement map[topology.ExecutorID]cluster.SlotID
 	// groups lists the executors resident in each active slot (worker
-	// process) — the locality set of LocalOrShuffleGrouping.
+	// process) — the locality set of LocalOrShuffleGrouping. Like
+	// placement, it is bookkeeping; routing reads the snapshot's copy.
 	groups map[cluster.SlotID][]*liveExec
 
 	denseRev []topology.ExecutorID
+
+	// routes is the published copy-on-write routing snapshot: rebuilt by
+	// Submit/Apply via rebuildRoutesLocked, read lock-free on every
+	// emission. See routes.go.
+	routes atomic.Pointer[routeTable]
 
 	started atomic.Bool
 	stopped atomic.Bool
@@ -134,9 +143,12 @@ type Engine struct {
 	wg      sync.WaitGroup
 
 	// Spout halting (§IV-D smoothing). haltGen invalidates stale resume
-	// timers when re-assignments overlap.
+	// timers when re-assignments overlap; resumeTimer retains the latest
+	// pending resume so Stop can cancel it instead of leaking it.
 	spoutsHalted atomic.Bool
 	haltGen      atomic.Int64
+	timerMu      sync.Mutex
+	resumeTimer  *time.Timer
 
 	// applyMu serializes re-assignments.
 	applyMu sync.Mutex
@@ -166,7 +178,7 @@ func NewEngine(cfg Config, cl *cluster.Cluster) (*Engine, error) {
 		return nil, fmt.Errorf("live: nil cluster")
 	}
 	cfg.fillDefaults()
-	return &Engine{
+	eng := &Engine{
 		cfg:       cfg,
 		cl:        cl,
 		apps:      make(map[string]*engine.App),
@@ -177,7 +189,9 @@ func NewEngine(cfg Config, cl *cluster.Cluster) (*Engine, error) {
 		stopCh:    make(chan struct{}),
 		traffic:   metrics.NewSyncTrafficMatrix(),
 		latency:   metrics.NewSyncLatencyHistogram(),
-	}, nil
+	}
+	eng.routes.Store(emptyRouteTable())
+	return eng, nil
 }
 
 // Config returns the engine's configuration.
@@ -224,6 +238,7 @@ func (eng *Engine) Submit(app *engine.App, initial *cluster.Assignment) error {
 		eng.placement[e] = s
 		eng.groups[s] = append(eng.groups[s], le)
 	}
+	eng.rebuildRoutesLocked()
 	return nil
 }
 
@@ -252,7 +267,7 @@ func (eng *Engine) newExec(app *engine.App, id topology.ExecutorID) *liveExec {
 	default:
 		le.kind = boltExec
 		le.bolt = app.Bolts[id.Component]()
-		le.in = make(chan liveMsg, eng.cfg.QueueCapacity)
+		le.in = make(chan []liveMsg, eng.cfg.QueueCapacity)
 		le.terminal = isTerminal(app.Topology, comp)
 	}
 	return le
@@ -319,6 +334,14 @@ func (eng *Engine) Stop() {
 	}
 	close(eng.stopCh)
 	eng.wg.Wait()
+	// Cancel any pending spout-resume timer so short-lived engines do not
+	// leak its goroutine past Stop.
+	eng.timerMu.Lock()
+	if eng.resumeTimer != nil {
+		eng.resumeTimer.Stop()
+		eng.resumeTimer = nil
+	}
+	eng.timerMu.Unlock()
 }
 
 // HaltSpouts stops spouts from emitting new roots until ResumeSpouts.
@@ -334,14 +357,22 @@ func (eng *Engine) ResumeSpouts() {
 }
 
 // resumeSpoutsAfter re-enables spouts after d unless another halt happened
-// in between.
+// in between. The timer is retained (replacing, and stopping, any earlier
+// pending resume — made stale by the haltGen bump anyway) so Engine.Stop
+// can cancel it.
 func (eng *Engine) resumeSpoutsAfter(d time.Duration) {
 	gen := eng.haltGen.Load()
-	time.AfterFunc(d, func() {
+	t := time.AfterFunc(d, func() {
 		if eng.haltGen.Load() == gen {
 			eng.spoutsHalted.Store(false)
 		}
 	})
+	eng.timerMu.Lock()
+	if eng.resumeTimer != nil {
+		eng.resumeTimer.Stop()
+	}
+	eng.resumeTimer = t
+	eng.timerMu.Unlock()
 }
 
 // Quiesce waits until no tuple is queued or being processed (spouts
@@ -392,16 +423,22 @@ func (eng *Engine) CurrentAssignment(name string) (*cluster.Assignment, bool) {
 }
 
 // ExecutorByDense maps a dense executor index back to its identity (used
-// by the monitor when draining the traffic matrix).
+// by the monitor when draining the traffic matrix). Out-of-range indexes
+// return the zero ExecutorID rather than panicking.
 func (eng *Engine) ExecutorByDense(i int) topology.ExecutorID {
-	eng.mu.RLock()
-	defer eng.mu.RUnlock()
-	return eng.denseRev[i]
+	rt := eng.routes.Load()
+	if i < 0 || i >= len(rt.denseRev) {
+		return topology.ExecutorID{}
+	}
+	return rt.denseRev[i]
 }
 
-// slotOf reads an executor's current slot.
+// slotOf reads an executor's current slot from the routing snapshot (the
+// zero SlotID for unknown executors).
 func (eng *Engine) slotOf(e topology.ExecutorID) cluster.SlotID {
-	eng.mu.RLock()
-	defer eng.mu.RUnlock()
-	return eng.placement[e]
+	rt := eng.routes.Load()
+	if le := rt.executor(e.Topology, e.Component, e.Index); le != nil {
+		return rt.slotOf[le.dense]
+	}
+	return cluster.SlotID{}
 }

@@ -15,7 +15,9 @@ import (
 //     executor's bounded input queue travels with it, so nothing is lost
 //     either way);
 //  3. executors whose slot changed are handed off between worker groups
-//     and the routing table is swapped atomically;
+//     and a freshly built routing snapshot is published with one atomic
+//     store (emitters keep routing lock-free against the old snapshot
+//     until the instant of the swap — see routes.go);
 //  4. spouts resume after SpoutHaltDelay.
 //
 // Unlike Storm's abrupt re-assignment there is no worker restart and no
@@ -67,6 +69,7 @@ func (eng *Engine) Apply(name string, next *cluster.Assignment) (int, error) {
 		moved++
 	}
 	eng.assign[name] = next.Clone()
+	eng.rebuildRoutesLocked()
 	eng.mu.Unlock()
 
 	eng.migrations.Add(int64(moved))

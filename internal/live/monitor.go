@@ -1,6 +1,7 @@
 package live
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -22,13 +23,26 @@ type Monitor struct {
 	db     *loaddb.DB
 	period time.Duration
 
+	// sampleMu serializes sampling rounds (the periodic loop against
+	// manual Sample calls) and guards the fields below.
+	sampleMu sync.Mutex
+	// lastSample is when the counters were last drained; rates divide by
+	// the measured elapsed time since then, not the configured period, so
+	// ticker drift and off-cycle manual samples cannot skew the database.
+	lastSample time.Time
 	// knownFlows tracks pairs ever seen so silent pairs decay toward 0
 	// instead of freezing at their last estimate.
 	knownFlows map[loaddb.FlowKey]bool
-	samples    atomic.Int64
+	// forgotten lists topologies dropped via Forget: their executors are
+	// skipped entirely so samples cannot resurrect keys the database has
+	// deleted.
+	forgotten map[string]bool
 
-	stop chan struct{}
-	done chan struct{}
+	samples atomic.Int64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
 }
 
 // StartMonitor launches the sampling goroutine. The first sample is taken
@@ -41,7 +55,9 @@ func StartMonitor(eng *Engine, db *loaddb.DB, period time.Duration) *Monitor {
 		eng:        eng,
 		db:         db,
 		period:     period,
+		lastSample: time.Now(),
 		knownFlows: make(map[loaddb.FlowKey]bool),
+		forgotten:  make(map[string]bool),
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
 	}
@@ -65,13 +81,10 @@ func (m *Monitor) loop() {
 	}
 }
 
-// Stop halts sampling and waits for the goroutine to exit.
+// Stop halts sampling and waits for the goroutine to exit. It is safe to
+// call from multiple goroutines, concurrently or repeatedly.
 func (m *Monitor) Stop() {
-	select {
-	case <-m.stop:
-	default:
-		close(m.stop)
-	}
+	m.stopOnce.Do(func() { close(m.stop) })
 	<-m.done
 }
 
@@ -81,31 +94,57 @@ func (m *Monitor) Samples() int { return int(m.samples.Load()) }
 // Period returns the sampling period.
 func (m *Monitor) Period() time.Duration { return m.period }
 
+// Forget drops a topology from the monitor's memory and removes its
+// records from the load database: knownFlows entries are pruned and later
+// samples skip the topology's executors, so the zero-rate decay writes
+// cannot resurrect keys DB.Forget deleted (which would also keep HasData
+// true for a dead topology).
+func (m *Monitor) Forget(topo string) {
+	m.sampleMu.Lock()
+	m.forgotten[topo] = true
+	for k := range m.knownFlows {
+		if k.From.Topology == topo || k.To.Topology == topo {
+			delete(m.knownFlows, k)
+		}
+	}
+	m.sampleMu.Unlock()
+	m.db.Forget(topo)
+}
+
 // Sample performs one sampling round: drain CPU counters and the traffic
-// matrix, convert to MHz and tuples/s, and batch the window into the
+// matrix, convert to MHz and tuples/s over the wall-clock time actually
+// elapsed since the previous drain, and batch the window into the
 // database.
 func (m *Monitor) Sample() {
-	m.samples.Add(1)
-	secs := m.period.Seconds()
-	eng := m.eng
-
-	eng.mu.RLock()
-	execs := make([]*liveExec, 0, len(eng.execs))
-	for _, le := range eng.execs {
-		execs = append(execs, le)
+	m.sampleMu.Lock()
+	defer m.sampleMu.Unlock()
+	now := time.Now()
+	secs := now.Sub(m.lastSample).Seconds()
+	if secs <= 0 {
+		secs = m.period.Seconds()
 	}
-	denseRev := eng.denseRev
-	eng.mu.RUnlock()
+	m.lastSample = now
+	m.samples.Add(1)
 
-	loads := make(map[topology.ExecutorID]float64, len(execs))
-	for _, le := range execs {
-		nanos := le.cpuNanos.Swap(0)
+	eng := m.eng
+	rt := eng.routes.Load()
+
+	loads := make(map[topology.ExecutorID]float64, len(rt.byDense))
+	for _, le := range rt.byDense {
+		nanos := le.cpuNanos.Swap(0) // drain even when skipped below
+		if m.forgotten[le.id.Topology] {
+			continue
+		}
 		loads[le.id] = float64(nanos) / 1e9 / secs * eng.cfg.RefMHz
 	}
 
 	flows := make(map[loaddb.FlowKey]float64)
 	for p, count := range eng.traffic.Drain() {
-		k := loaddb.FlowKey{From: denseRev[p.From], To: denseRev[p.To]}
+		from, to := rt.denseRev[p.From], rt.denseRev[p.To]
+		if m.forgotten[from.Topology] || m.forgotten[to.Topology] {
+			continue
+		}
+		k := loaddb.FlowKey{From: from, To: to}
 		flows[k] = count / secs
 		m.knownFlows[k] = true
 	}

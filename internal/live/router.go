@@ -17,18 +17,26 @@ const (
 	hopInterNode                // different nodes: serialize + copy work
 )
 
-// delivery is one routed, costed transfer awaiting enqueue.
+// delivery is one routed, costed batch of transfers to a single target
+// queue awaiting enqueue. Tuples routed to the same executor within one
+// emit cycle are appended here and later enqueued with a single channel
+// operation, so a cycle pays one send per distinct target instead of one
+// per tuple.
 type delivery struct {
-	to  *liveExec
-	msg liveMsg
-	hop hopKind
+	to   *liveExec
+	hop  hopKind
+	msgs []liveMsg
 }
 
 // route resolves one logical emission to per-target deliveries, paying the
 // sender-side boundary costs (serialization for remote hops, copy passes
-// for inter-node hops). It returns the number of deliveries appended, or
+// for inter-node hops). It returns the number of transfers appended, or
 // -1 if the stream is undeclared. Direct-grouping subscribers are skipped,
 // as in the simulated engine.
+//
+// The routing snapshot is loaded once per emission and never mutated, so
+// no engine lock is taken anywhere on this path and every target of one
+// emission is resolved against a single consistent placement.
 func (le *liveExec) route(out *[]delivery, stream string, vals tuple.Values, bornAt time.Time) int {
 	if stream == "" {
 		stream = topology.DefaultStream
@@ -37,32 +45,30 @@ func (le *liveExec) route(out *[]delivery, stream string, vals tuple.Values, bor
 	if !ok {
 		return -1
 	}
-	eng := le.eng
+	rt := le.eng.routes.Load()
 	top := le.app.Topology
+	srcSlot := rt.slotOf[le.dense]
 	size := tuple.SizeOf(vals)
 	n := 0
 
-	eng.mu.RLock()
-	srcSlot := eng.placement[le.id]
 	for _, edge := range top.Consumers(le.comp.Name, stream) {
 		if edge.Grouping.Type == topology.DirectGrouping {
 			continue
 		}
 		cons, _ := top.Component(edge.Consumer)
-		for _, idx := range le.chooseTargetsLocked(edge, cons.Parallelism, schema, vals, srcSlot) {
-			tgt := eng.execs[topology.ExecutorID{Topology: le.id.Topology, Component: edge.Consumer, Index: idx}]
+		for _, idx := range le.chooseTargets(rt, edge, cons.Parallelism, schema, vals, srcSlot) {
+			tgt := rt.executor(le.id.Topology, edge.Consumer, idx)
 			if tgt == nil || tgt.in == nil {
 				continue
 			}
-			*out = append(*out, le.makeDelivery(tgt, srcSlot, eng.placement[tgt.id], stream, vals, size, bornAt))
+			le.appendDelivery(out, rt, tgt, srcSlot, stream, vals, size, bornAt)
 			n++
 		}
 	}
-	eng.mu.RUnlock()
 	return n
 }
 
-// routeDirect resolves an EmitDirect call; it reports whether a delivery
+// routeDirect resolves an EmitDirect call; it reports whether a transfer
 // was appended.
 func (le *liveExec) routeDirect(out *[]delivery, consumer string, taskIndex int, stream string, vals tuple.Values, bornAt time.Time) bool {
 	if stream == "" {
@@ -76,44 +82,46 @@ func (le *liveExec) routeDirect(out *[]delivery, consumer string, taskIndex int,
 	if !ok || taskIndex < 0 || taskIndex >= cons.Parallelism {
 		return false
 	}
-	eng := le.eng
-	eng.mu.RLock()
-	defer eng.mu.RUnlock()
-	tgt := eng.execs[topology.ExecutorID{Topology: le.id.Topology, Component: consumer, Index: taskIndex}]
+	rt := le.eng.routes.Load()
+	tgt := rt.executor(le.id.Topology, consumer, taskIndex)
 	if tgt == nil || tgt.in == nil {
 		return false
 	}
-	srcSlot := eng.placement[le.id]
-	*out = append(*out, le.makeDelivery(tgt, srcSlot, eng.placement[tgt.id], stream, vals,
-		tuple.SizeOf(vals), bornAt))
+	le.appendDelivery(out, rt, tgt, rt.slotOf[le.dense], stream, vals, tuple.SizeOf(vals), bornAt)
 	return true
 }
 
-// makeDelivery builds one transfer, paying the sender-side cost of the
-// boundary it crosses. Local deliveries share the Values slice (tuples are
-// immutable by contract); remote deliveries carry the encoded payload and
-// the receiver decodes it.
-func (le *liveExec) makeDelivery(tgt *liveExec, srcSlot, dstSlot cluster.SlotID, stream string, vals tuple.Values, size int, bornAt time.Time) delivery {
-	tup := tuple.Tuple{
-		Stream:       stream,
-		SrcComponent: le.comp.Name,
-		SrcTask:      le.id.Index,
-		Size:         size,
+// appendDelivery builds one transfer, paying the sender-side cost of the
+// boundary it crosses, and appends it to the target's batch (opening a
+// new batch for a target not yet seen this cycle). Local transfers share
+// the Values slice (tuples are immutable by contract); remote transfers
+// carry the encoded payload and the receiver decodes it.
+func (le *liveExec) appendDelivery(out *[]delivery, rt *routeTable, tgt *liveExec, srcSlot cluster.SlotID, stream string, vals tuple.Values, size int, bornAt time.Time) {
+	dstSlot := rt.slotOf[tgt.dense]
+	msg := liveMsg{
+		tup: tuple.Tuple{
+			Stream:       stream,
+			SrcComponent: le.comp.Name,
+			SrcTask:      le.id.Index,
+			Size:         size,
+		},
+		bornAt: bornAt,
+		from:   le.dense,
 	}
-	d := delivery{to: tgt, msg: liveMsg{tup: tup, bornAt: bornAt, from: le.dense}}
+	var hop hopKind
 	switch {
 	case srcSlot == dstSlot:
-		d.hop = hopLocal
-		d.msg.tup.Values = vals
+		hop = hopLocal
+		msg.tup.Values = vals
 	case srcSlot.Node == dstSlot.Node:
-		d.hop = hopInterProc
-		d.msg.enc, d.msg.extras = encodeValues(vals)
+		hop = hopInterProc
+		msg.enc, msg.extras = encodeValues(vals)
 	default:
-		d.hop = hopInterNode
-		d.msg.enc, d.msg.extras = encodeValues(vals)
+		hop = hopInterNode
+		msg.enc, msg.extras = encodeValues(vals)
 		// Kernel/NIC copy work: extra passes over the wire bytes.
 		for i := 0; i < le.eng.cfg.InterNodeCopies; i++ {
-			for _, b := range d.msg.enc {
+			for _, b := range msg.enc {
 				le.scratch ^= b
 			}
 		}
@@ -125,14 +133,23 @@ func (le *liveExec) makeDelivery(tgt *liveExec, srcSlot, dstSlot cluster.SlotID,
 			}
 		}
 	}
-	return d
+	// Batch with an existing delivery to the same queue. Hop kinds are
+	// matched too: two emissions of one cycle may straddle an Apply and
+	// classify the same target differently.
+	for i := range *out {
+		if b := &(*out)[i]; b.to == tgt && b.hop == hop {
+			b.msgs = append(b.msgs, msg)
+			return
+		}
+	}
+	*out = append(*out, delivery{to: tgt, hop: hop, msgs: []liveMsg{msg}})
 }
 
-// chooseTargetsLocked picks the receiving task indexes for one consumer
-// edge. Caller holds eng.mu (read): LocalOrShuffleGrouping inspects the
-// sender's worker group. The logic mirrors the simulated engine's
-// chooseTargets so both backends route identically.
-func (le *liveExec) chooseTargetsLocked(edge topology.ConsumerEdge, parallelism int, schema tuple.Fields, vals tuple.Values, srcSlot cluster.SlotID) []int {
+// chooseTargets picks the receiving task indexes for one consumer edge,
+// resolving LocalOrShuffleGrouping's locality set from the routing
+// snapshot. The logic mirrors the simulated engine's chooseTargets so
+// both backends route identically.
+func (le *liveExec) chooseTargets(rt *routeTable, edge topology.ConsumerEdge, parallelism int, schema tuple.Fields, vals tuple.Values, srcSlot cluster.SlotID) []int {
 	switch edge.Grouping.Type {
 	case topology.ShuffleGrouping:
 		key := edge.Consumer + "\x00" + edge.Grouping.SourceStream
@@ -141,7 +158,7 @@ func (le *liveExec) chooseTargetsLocked(edge topology.ConsumerEdge, parallelism 
 		return []int{(i + le.id.Index) % parallelism}
 	case topology.LocalOrShuffleGrouping:
 		var local []int
-		for _, peer := range le.eng.groups[srcSlot] {
+		for _, peer := range rt.groups[srcSlot] {
 			if peer.id.Component == edge.Consumer {
 				local = append(local, peer.id.Index)
 			}
@@ -176,25 +193,29 @@ func (le *liveExec) chooseTargetsLocked(edge topology.ConsumerEdge, parallelism 
 	}
 }
 
-// deliver enqueues one routed transfer, blocking while the target queue is
+// deliver enqueues one routed batch, blocking while the target queue is
 // full (backpressure). It reports false when the engine is stopping. The
-// transfer is counted only once enqueued, so the statistics match what
+// transfers are counted only once enqueued, so the statistics match what
 // receivers will actually observe.
 func (eng *Engine) deliver(d *delivery) bool {
-	eng.pending.Add(1)
+	n := int64(len(d.msgs))
+	if n == 0 {
+		return true
+	}
+	eng.pending.Add(n)
 	select {
-	case d.to.in <- d.msg:
+	case d.to.in <- d.msgs:
 	case <-eng.stopCh:
-		eng.pending.Add(-1)
+		eng.pending.Add(-n)
 		return false
 	}
-	eng.tuplesSent.Add(1)
+	eng.tuplesSent.Add(n)
 	switch d.hop {
 	case hopInterNode:
-		eng.interNodeSent.Add(1)
+		eng.interNodeSent.Add(n)
 	case hopInterProc:
-		eng.interProcSent.Add(1)
+		eng.interProcSent.Add(n)
 	}
-	eng.traffic.Add(d.msg.from, d.to.dense, 1)
+	eng.traffic.Add(d.msgs[0].from, d.to.dense, float64(n))
 	return true
 }

@@ -75,11 +75,11 @@ func (eng *Engine) DrainLatency() *metrics.Histogram {
 }
 
 // ExecutorProcessed reports one executor's lifetime processed-tuple count
-// (0 for unknown executors and spouts).
+// (0 for unknown executors and spouts). It reads the routing snapshot, so
+// it never contends with Submit/Apply.
 func (eng *Engine) ExecutorProcessed(e topology.ExecutorID) int64 {
-	eng.mu.RLock()
-	le := eng.execs[e]
-	eng.mu.RUnlock()
+	rt := eng.routes.Load()
+	le := rt.executor(e.Topology, e.Component, e.Index)
 	if le == nil {
 		return 0
 	}

@@ -121,7 +121,10 @@ type (
 // goroutines instead of the discrete-event simulation.
 type (
 	// LiveEngine executes topologies on one goroutine per executor with
-	// bounded-channel queues; worker groups map to cluster slots.
+	// bounded-channel queues; worker groups map to cluster slots. Routing
+	// reads an immutable copy-on-write snapshot (republished atomically by
+	// Submit/Apply), so emitters never take the engine lock on the
+	// per-tuple hot path.
 	LiveEngine = live.Engine
 	// LiveConfig holds the live engine's knobs.
 	LiveConfig = live.Config
@@ -171,6 +174,14 @@ func WireLive(eng *LiveEngine, gamma float64) (*LiveStack, error) {
 func (s *LiveStack) Stop() {
 	s.Monitor.Stop()
 	s.Generator.Stop()
+}
+
+// Forget drops a dead topology's measurements from the live stack: the
+// monitor prunes its flow memory and stops reporting the topology's
+// executors, and the load database deletes its records — so later
+// sampling rounds cannot resurrect the keys.
+func (s *LiveStack) Forget(topo string) {
+	s.Monitor.Forget(topo)
 }
 
 // Observability.
