@@ -4,11 +4,15 @@
 # The routing-snapshot stress tests run first and explicitly so the
 # lock-free emission path is always exercised under the race detector,
 # even when the package list or cache state changes.
+# The telemetry scrape-under-churn stress runs the same way: every /metrics
+# handler read races live emissions and Apply re-assignments.
 # The experiment package replays full paper figures, which is slow under
 # the race detector — hence the raised per-package timeout.
 set -eux
 cd "$(dirname "$0")"
+test -z "$(gofmt -l .)"
 go build ./...
 go vet ./...
 go test -race -count=1 -run 'TestRoutingSnapshotStress|TestRouteObservesSinglePlacement|TestEmissionsFlowWhileEngineLockHeld|TestMonitorStopConcurrent' ./internal/live
+go test -race -count=1 -run 'TestScrapeUnderChurnStress' ./internal/telemetry
 go test -race -timeout 30m ./...

@@ -3,7 +3,10 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"tstorm/internal/cluster"
@@ -12,19 +15,46 @@ import (
 	"tstorm/internal/live"
 	"tstorm/internal/loaddb"
 	"tstorm/internal/scheduler"
+	"tstorm/internal/telemetry"
 	"tstorm/internal/topology"
+	"tstorm/internal/trace"
 	"tstorm/internal/workloads"
 )
 
+// livePhase is one benchmark phase's latency and backpressure summary.
+type livePhase struct {
+	Phase          string  `json:"phase"` // "warmup" | "measure"
+	P50LatencyMs   float64 `json:"p50_latency_ms"`
+	P95LatencyMs   float64 `json:"p95_latency_ms"`
+	P99LatencyMs   float64 `json:"p99_latency_ms"`
+	PeakQueueDepth int     `json:"peak_queue_depth"` // deepest input queue seen, in delivery batches
+}
+
 // liveRun is one measured configuration of the live benchmark.
 type liveRun struct {
-	Scheduler         string  `json:"scheduler"`
-	TuplesPerSec      float64 `json:"tuples_per_sec"`
-	SinkTuplesPerSec  float64 `json:"sink_tuples_per_sec"`
-	P50LatencyMs      float64 `json:"p50_latency_ms"`
-	P99LatencyMs      float64 `json:"p99_latency_ms"`
-	InterNodeFraction float64 `json:"inter_node_fraction"`
-	Migrations        int64   `json:"migrations"`
+	Scheduler         string      `json:"scheduler"`
+	TuplesPerSec      float64     `json:"tuples_per_sec"`
+	SinkTuplesPerSec  float64     `json:"sink_tuples_per_sec"`
+	P50LatencyMs      float64     `json:"p50_latency_ms"`
+	P95LatencyMs      float64     `json:"p95_latency_ms"`
+	P99LatencyMs      float64     `json:"p99_latency_ms"`
+	InterNodeFraction float64     `json:"inter_node_fraction"`
+	Migrations        int64       `json:"migrations"`
+	Phases            []livePhase `json:"phases"`
+}
+
+// telemetryOverhead records the telemetry-on vs telemetry-off throughput
+// comparison (same scheduler, same seed, a scraper polling /metrics at
+// ScrapeHz during the on run), so the "overhead stays in the noise" claim
+// is reproducible from the report alone.
+type telemetryOverhead struct {
+	Scheduler       string  `json:"scheduler"`
+	OffTuplesPerSec float64 `json:"off_tuples_per_sec"`
+	OnTuplesPerSec  float64 `json:"on_tuples_per_sec"`
+	// DeltaFraction is (on − off) / off; near zero (or positive, run
+	// noise) means scraping does not tax the emission path.
+	DeltaFraction float64 `json:"delta_fraction"`
+	ScrapeHz      float64 `json:"scrape_hz"`
 }
 
 // liveReport is the JSON document written by -live -json.
@@ -35,6 +65,8 @@ type liveReport struct {
 	Runs        []liveRun `json:"runs"`
 	// Speedup is T-Storm's measured tuples/s over the default scheduler's.
 	Speedup float64 `json:"speedup"`
+	// Telemetry is the scrape-overhead comparison (nil without -json).
+	Telemetry *telemetryOverhead `json:"telemetry_overhead,omitempty"`
 	// LockContentionNote records how the emission path synchronizes, with
 	// the pre-snapshot baseline for comparison.
 	LockContentionNote string `json:"lock_contention_note"`
@@ -55,8 +87,11 @@ const lockContentionNote = "per-emission routing is lock-free: emitters read an 
 // emulated 4-node cluster under Storm's default round-robin placement
 // versus T-Storm (initial schedule + monitor-fed Algorithm 1 reschedule),
 // reporting real goroutine throughput, end-to-end latency, and the
-// inter-node traffic fraction.
-func runLive(duration time.Duration, seed uint64, jsonPath string) error {
+// inter-node traffic fraction. telemetryAddr, when non-empty, serves the
+// observability endpoints on that address for the duration of each run;
+// the scrape-overhead comparison runs afterwards on its own ephemeral
+// server.
+func runLive(duration time.Duration, seed uint64, jsonPath, telemetryAddr string) error {
 	if duration <= 0 {
 		duration = 3 * time.Second
 	}
@@ -64,14 +99,15 @@ func runLive(duration time.Duration, seed uint64, jsonPath string) error {
 
 	var runs []liveRun
 	for _, sched := range []string{"default", "tstorm"} {
-		run, err := liveOnce(sched, duration, seed)
+		run, err := liveOnce(sched, duration, seed, telemetryAddr, 0)
 		if err != nil {
 			return fmt.Errorf("live %s run: %w", sched, err)
 		}
 		runs = append(runs, run)
-		fmt.Printf("%-8s  %10.0f tuples/s  %8.0f sink/s  p50 %6.2f ms  p99 %7.2f ms  inter-node %5.1f%%  migrations %d\n",
+		fmt.Printf("%-8s  %10.0f tuples/s  %8.0f sink/s  p50 %6.2f ms  p95 %7.2f ms  p99 %7.2f ms  inter-node %5.1f%%  migrations %d  peak queue %d\n",
 			run.Scheduler, run.TuplesPerSec, run.SinkTuplesPerSec,
-			run.P50LatencyMs, run.P99LatencyMs, 100*run.InterNodeFraction, run.Migrations)
+			run.P50LatencyMs, run.P95LatencyMs, run.P99LatencyMs,
+			100*run.InterNodeFraction, run.Migrations, run.Phases[1].PeakQueueDepth)
 	}
 	report := liveReport{
 		Benchmark:          "live-wordcount",
@@ -84,6 +120,32 @@ func runLive(duration time.Duration, seed uint64, jsonPath string) error {
 		report.Speedup = runs[1].TuplesPerSec / runs[0].TuplesPerSec
 	}
 	fmt.Printf("\nT-Storm speedup over default: %.2f×\n", report.Speedup)
+
+	// Telemetry overhead: a dedicated back-to-back off/on pair of default
+	// runs, so machine state (GC, caches, neighbors) is as equal as two
+	// separate runs can get — comparing against the benchmark's first run
+	// would mostly measure run-ordering effects.
+	const scrapeHz = 1.0
+	offRun, err := liveOnce("default", duration, seed, "", 0)
+	if err != nil {
+		return fmt.Errorf("live telemetry-off run: %w", err)
+	}
+	onRun, err := liveOnce("default", duration, seed, "127.0.0.1:0", scrapeHz)
+	if err != nil {
+		return fmt.Errorf("live telemetry-on run: %w", err)
+	}
+	report.Telemetry = &telemetryOverhead{
+		Scheduler:       "default",
+		OffTuplesPerSec: offRun.TuplesPerSec,
+		OnTuplesPerSec:  onRun.TuplesPerSec,
+		ScrapeHz:        scrapeHz,
+	}
+	if offRun.TuplesPerSec > 0 {
+		report.Telemetry.DeltaFraction = onRun.TuplesPerSec/offRun.TuplesPerSec - 1
+	}
+	fmt.Printf("telemetry overhead (1 Hz scrape): %.0f → %.0f tuples/s (%+.1f%%)\n",
+		report.Telemetry.OffTuplesPerSec, report.Telemetry.OnTuplesPerSec,
+		100*report.Telemetry.DeltaFraction)
 
 	if jsonPath != "" {
 		data, err := json.MarshalIndent(report, "", "  ")
@@ -98,7 +160,66 @@ func runLive(duration time.Duration, seed uint64, jsonPath string) error {
 	return nil
 }
 
-func liveOnce(sched string, measure time.Duration, seed uint64) (liveRun, error) {
+// peakPoller samples the engine's deepest input queue on a short interval
+// so phases can report their backpressure high-water mark.
+type peakPoller struct {
+	eng  *live.Engine
+	peak atomic.Int64
+	stop chan struct{}
+	done chan struct{}
+}
+
+func startPeakPoller(eng *live.Engine) *peakPoller {
+	p := &peakPoller{eng: eng, stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(p.done)
+		tk := time.NewTicker(5 * time.Millisecond)
+		defer tk.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-tk.C:
+				if d := int64(p.eng.MaxQueueDepth()); d > p.peak.Load() {
+					p.peak.Store(d)
+				}
+			}
+		}
+	}()
+	return p
+}
+
+// Take returns the peak observed since the last Take and resets it.
+func (p *peakPoller) Take() int { return int(p.peak.Swap(0)) }
+
+func (p *peakPoller) Stop() {
+	close(p.stop)
+	<-p.done
+}
+
+// scrapeLoop polls url at hz until stop closes, discarding bodies — a
+// stand-in for a Prometheus server's scrape cycle.
+func scrapeLoop(url string, hz float64, stop <-chan struct{}) {
+	tk := time.NewTicker(time.Duration(float64(time.Second) / hz))
+	defer tk.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tk.C:
+			resp, err := http.Get(url)
+			if err == nil {
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				resp.Body.Close()
+			}
+		}
+	}
+}
+
+// liveOnce measures one scheduler configuration. telemetryAddr, when
+// non-empty, serves the telemetry endpoints for the run's duration;
+// scrapeHz > 0 additionally polls /metrics at that rate.
+func liveOnce(sched string, measure time.Duration, seed uint64, telemetryAddr string, scrapeHz float64) (liveRun, error) {
 	cl, err := cluster.Uniform(4, 4, 2000, 4)
 	if err != nil {
 		return liveRun{}, err
@@ -122,6 +243,9 @@ func liveOnce(sched string, measure time.Duration, seed uint64) (liveRun, error)
 
 	lcfg := live.DefaultConfig()
 	lcfg.Seed = seed
+	if telemetryAddr != "" {
+		lcfg.Trace = trace.NewRecorder(512)
+	}
 	eng, err := live.NewEngine(lcfg, cl)
 	if err != nil {
 		return liveRun{}, err
@@ -135,9 +259,10 @@ func liveOnce(sched string, measure time.Duration, seed uint64) (liveRun, error)
 	defer eng.Stop()
 
 	const monitorPeriod = 250 * time.Millisecond
+	var mon *live.Monitor
 	if sched == "tstorm" {
 		db := loaddb.New(0.5)
-		mon := live.StartMonitor(eng, db, monitorPeriod)
+		mon = live.StartMonitor(eng, db, monitorPeriod)
 		defer mon.Stop()
 		gen, err := live.StartGenerator(eng, db, live.GeneratorConfig{
 			Period:               time.Hour, // one forced reschedule below
@@ -156,26 +281,65 @@ func liveOnce(sched string, measure time.Duration, seed uint64) (liveRun, error)
 	} else {
 		time.Sleep(4 * monitorPeriod) // matching warm-up
 	}
+
+	if telemetryAddr != "" {
+		srv, err := telemetry.NewServer(telemetry.Config{
+			Engine: eng, Monitor: mon, Trace: lcfg.Trace,
+		})
+		if err != nil {
+			return liveRun{}, err
+		}
+		if err := srv.Start(telemetryAddr); err != nil {
+			return liveRun{}, err
+		}
+		defer srv.Close()
+		if scrapeHz > 0 {
+			stopScrape := make(chan struct{})
+			defer close(stopScrape)
+			go scrapeLoop("http://"+srv.Addr()+"/metrics", scrapeHz, stopScrape)
+		}
+	}
+
+	poller := startPeakPoller(eng)
+	defer poller.Stop()
+
 	// Let the pipeline regain steady state: the reschedule drained every
 	// queue and spouts stay halted for SpoutHaltDelay after it.
 	time.Sleep(lcfg.SpoutHaltDelay + time.Second)
 
-	eng.DrainLatency() // discard warm-up samples
+	warmLat := eng.DrainLatency() // warm-up window's samples
+	warmup := livePhase{
+		Phase:          "warmup",
+		P50LatencyMs:   warmLat.Quantile(0.5),
+		P95LatencyMs:   warmLat.Quantile(0.95),
+		P99LatencyMs:   warmLat.Quantile(0.99),
+		PeakQueueDepth: poller.Take(),
+	}
+
 	t0 := eng.Totals()
 	start := time.Now()
 	time.Sleep(measure)
 	w := eng.Totals().Sub(t0)
 	elapsed := time.Since(start).Seconds()
 	lat := eng.DrainLatency()
+	measured := livePhase{
+		Phase:          "measure",
+		P50LatencyMs:   lat.Quantile(0.5),
+		P95LatencyMs:   lat.Quantile(0.95),
+		P99LatencyMs:   lat.Quantile(0.99),
+		PeakQueueDepth: poller.Take(),
+	}
 	eng.Stop()
 
 	return liveRun{
 		Scheduler:         sched,
 		TuplesPerSec:      float64(w.Processed) / elapsed,
 		SinkTuplesPerSec:  float64(w.SinkProcessed) / elapsed,
-		P50LatencyMs:      lat.Quantile(0.5),
-		P99LatencyMs:      lat.Quantile(0.99),
+		P50LatencyMs:      measured.P50LatencyMs,
+		P95LatencyMs:      measured.P95LatencyMs,
+		P99LatencyMs:      measured.P99LatencyMs,
 		InterNodeFraction: w.InterNodeFraction(),
 		Migrations:        eng.Totals().Migrations,
+		Phases:            []livePhase{warmup, measured},
 	}, nil
 }

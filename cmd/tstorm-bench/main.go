@@ -4,14 +4,17 @@
 // Usage:
 //
 //	tstorm-bench [-fig 5] [-duration 1000s] [-seed 1] [-csv dir]
-//	tstorm-bench -live [-duration 3s] [-json BENCH_live.json]
+//	tstorm-bench -live [-duration 3s] [-json BENCH_live.json] [-telemetry addr]
 //
 // Without -fig it regenerates every figure in order. With -csv the series
 // are also written as CSV files into the given directory. With -live it
 // instead runs the self-fed Word Count on the goroutine execution engine
 // under the default scheduler versus T-Storm, measuring real throughput,
-// end-to-end latency, and inter-node traffic; -json writes the results as
-// a JSON report.
+// end-to-end latency (p50/p95/p99 per phase), peak queue depth, and
+// inter-node traffic; -json writes the results as a JSON report including
+// a telemetry-on vs telemetry-off throughput comparison. With -telemetry
+// the observability endpoints are additionally served on the given
+// address for the duration of each run.
 package main
 
 import (
@@ -31,11 +34,12 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to write per-figure CSV series into")
 	liveMode := flag.Bool("live", false, "benchmark the live (wall-clock) runtime instead of regenerating figures")
 	jsonPath := flag.String("json", "", "path to write the live benchmark report as JSON (with -live)")
+	telemetryAddr := flag.String("telemetry", "", "serve /metrics, /debug/placement, /debug/trace on this address during -live runs (e.g. 127.0.0.1:9090)")
 	flag.Parse()
 
 	var err error
 	if *liveMode {
-		err = runLive(*duration, *seed, *jsonPath)
+		err = runLive(*duration, *seed, *jsonPath, *telemetryAddr)
 	} else {
 		err = run(*fig, *duration, *seed, *csvDir)
 	}

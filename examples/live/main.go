@@ -4,15 +4,21 @@
 // placement; a live monitor measures actual CPU time and tuple rates, and
 // one forced T-Storm reschedule co-locates the chatty executors. The
 // program prints measured throughput before and after the reschedule —
-// real tuples per second, not simulated ones.
+// real tuples per second, not simulated ones — and serves the telemetry
+// endpoints (/metrics, /debug/placement, /debug/trace) while it runs,
+// printing the reschedule's trace timeline and a sample scrape at the end.
 //
-//	go run ./examples/live
+//	go run ./examples/live [-telemetry 127.0.0.1:0]
 package main
 
 import (
+	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"sort"
+	"strings"
 	"time"
 
 	"tstorm/internal/cluster"
@@ -21,11 +27,26 @@ import (
 	"tstorm/internal/live"
 	"tstorm/internal/loaddb"
 	"tstorm/internal/scheduler"
+	"tstorm/internal/telemetry"
 	"tstorm/internal/topology"
+	"tstorm/internal/trace"
 	"tstorm/internal/workloads"
 )
 
+// fetch GETs one telemetry endpoint and returns the body.
+func fetch(addr, path string) (string, error) {
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return string(body), err
+}
+
 func main() {
+	telemetryAddr := flag.String("telemetry", "127.0.0.1:0", "address for the telemetry endpoints")
+	flag.Parse()
 	cl, err := cluster.Uniform(4, 4, 2000, 4)
 	if err != nil {
 		log.Fatal(err)
@@ -46,7 +67,9 @@ func main() {
 		log.Fatal(err)
 	}
 
-	eng, err := live.NewEngine(live.DefaultConfig(), cl)
+	lcfg := live.DefaultConfig()
+	lcfg.Trace = trace.NewRecorder(512)
+	eng, err := live.NewEngine(lcfg, cl)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -72,7 +95,17 @@ func main() {
 	}
 	defer gen.Stop()
 
+	srv, err := telemetry.NewServer(telemetry.Config{Engine: eng, Monitor: mon, Trace: lcfg.Trace})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Start(*telemetryAddr); err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
 	fmt.Println("live Word Count on 4 emulated nodes, real goroutine executors")
+	fmt.Printf("  telemetry: http://%s/metrics  /debug/placement  /debug/trace\n", srv.Addr())
 
 	measure := func(label string) live.Totals {
 		time.Sleep(time.Second) // settle
@@ -99,7 +132,41 @@ func main() {
 	moved := eng.Totals().Migrations
 	fmt.Printf("  T-Storm reschedule migrated %d executors (smoothed: spout halt + drain)\n", moved)
 
+	// The placement endpoint reflects the new assignment the instant the
+	// route snapshot publishes — scrape it right after Apply returns.
+	placement, err := fetch(srv.Addr(), "/debug/placement")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  /debug/placement now reports %d executors (%d lines)\n",
+		len(eng.Placement()), strings.Count(placement, "\n"))
+
 	after := measure("traffic-aware:")
+
+	// The reschedule's wall-clock timeline, straight from /debug/trace:
+	// apply → spout halt → drain → per-executor migration → resume.
+	timeline, err := fetch(srv.Addr(), "/debug/trace?format=text")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n  reschedule timeline from /debug/trace:")
+	for _, line := range strings.Split(strings.TrimSpace(timeline), "\n") {
+		if strings.Contains(line, "monitor-sampled") {
+			continue // sampling rounds drown out the migration story here
+		}
+		fmt.Println("    " + line)
+	}
+
+	scrape, err := fetch(srv.Addr(), "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n  sample /metrics scrape (engine + monitor families):")
+	for _, line := range strings.Split(scrape, "\n") {
+		if strings.HasPrefix(line, "tstorm_engine_") || strings.HasPrefix(line, "tstorm_monitor_") {
+			fmt.Println("    " + line)
+		}
+	}
 
 	gain := float64(after.Processed)/float64(before.Processed) - 1
 	fmt.Printf("  throughput change from co-location: %+.0f%%\n", 100*gain)

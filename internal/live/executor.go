@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"tstorm/internal/engine"
+	"tstorm/internal/metrics"
 	"tstorm/internal/topology"
 	"tstorm/internal/tuple"
 )
@@ -61,6 +62,12 @@ type liveExec struct {
 	cpuNanos  atomic.Int64 // busy time since last monitor drain
 	processed atomic.Int64 // lifetime tuples processed
 	emitted   atomic.Int64 // lifetime emit calls
+
+	// procLat records per-tuple process time (decode + Execute,
+	// milliseconds) for bolts; atomic increments only, so the scraper can
+	// read it while the executor's goroutine keeps writing. Nil for
+	// spouts and ackers.
+	procLat *metrics.AtomicHistogram
 }
 
 func (le *liveExec) run() {
@@ -178,7 +185,9 @@ func (le *liveExec) process(m liveMsg) bool {
 	}
 	em := boltEmitter{le: le, bornAt: m.bornAt}
 	le.bolt.Execute(m.tup, &em)
-	le.cpuNanos.Add(int64(time.Since(t0)))
+	busy := time.Since(t0)
+	le.cpuNanos.Add(int64(busy))
+	le.procLat.Add(float64(busy) / 1e6)
 	le.processed.Add(1)
 	eng.processed.Add(1)
 	if le.terminal {

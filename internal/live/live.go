@@ -39,6 +39,7 @@ import (
 	"tstorm/internal/engine"
 	"tstorm/internal/metrics"
 	"tstorm/internal/topology"
+	"tstorm/internal/trace"
 )
 
 // Config holds the live engine's knobs. Durations shrink freely for tests.
@@ -73,6 +74,11 @@ type Config struct {
 	// unit: load = cpuSeconds/window × RefMHz (default 2000, the paper's
 	// core speed).
 	RefMHz float64
+	// Trace, when non-nil, receives wall-clock runtime events (apply,
+	// spout halt/resume, per-executor migration, drain outcomes); the
+	// monitor additionally reports sampling rounds and overload
+	// detections through it. Nil disables tracing.
+	Trace *trace.Recorder
 }
 
 // DefaultConfig returns the default live configuration.
@@ -160,6 +166,14 @@ type Engine struct {
 
 	traffic *metrics.SyncTrafficMatrix
 	latency *metrics.SyncHistogram
+
+	// edges holds one lifetime tuple counter per (from, to, boundary
+	// class) triple. Dense indexes are fixed once Start allocates the
+	// matrix (Submit must precede Start), so deliver bumps a counter with
+	// one atomic add and no lock — the per-edge metrics the exposition
+	// endpoint serves. Published atomically so scrapers may read before
+	// Start.
+	edges atomic.Pointer[edgeMatrix]
 
 	// Lifetime counters.
 	rootsEmitted  atomic.Int64 // spout emit cycles' root tuples
@@ -269,6 +283,7 @@ func (eng *Engine) newExec(app *engine.App, id topology.ExecutorID) *liveExec {
 		le.bolt = app.Bolts[id.Component]()
 		le.in = make(chan []liveMsg, eng.cfg.QueueCapacity)
 		le.terminal = isTerminal(app.Topology, comp)
+		le.procLat = metrics.NewProcLatencyHistogram()
 	}
 	return le
 }
@@ -319,11 +334,37 @@ func (eng *Engine) Start() error {
 			le.bolt.Prepare(le.ctx)
 		}
 	}
+	n := len(eng.denseRev)
+	eng.edges.Store(&edgeMatrix{n: n, counts: make([]edgeCounter, n*n)})
 	for _, le := range eng.execs {
 		eng.wg.Add(1)
 		go le.run()
 	}
 	return nil
+}
+
+// edgeMatrix is the engine's dense per-edge counter matrix, indexed
+// from×n+to.
+type edgeMatrix struct {
+	n      int
+	counts []edgeCounter
+}
+
+// edgeCounter is one directed executor pair's lifetime tuple counts, split
+// by the boundary class each transfer crossed.
+type edgeCounter struct {
+	byHop [3]atomic.Int64 // indexed by hopKind
+}
+
+// Trace returns the engine's trace recorder (nil when tracing is off).
+func (eng *Engine) Trace() *trace.Recorder { return eng.cfg.Trace }
+
+// emit records a wall-clock trace event if a recorder is attached.
+func (eng *Engine) emit(kind trace.Kind, topo, where, detail string) {
+	if eng.cfg.Trace == nil {
+		return
+	}
+	eng.cfg.Trace.Emit(trace.WallEvent(kind, topo, where, detail))
 }
 
 // Stop halts all executor goroutines and waits for them to exit. It is
@@ -348,12 +389,14 @@ func (eng *Engine) Stop() {
 func (eng *Engine) HaltSpouts() {
 	eng.haltGen.Add(1)
 	eng.spoutsHalted.Store(true)
+	eng.emit(trace.SpoutsHalted, "", "", "no new roots until resume")
 }
 
 // ResumeSpouts lets spouts emit again.
 func (eng *Engine) ResumeSpouts() {
 	eng.haltGen.Add(1)
 	eng.spoutsHalted.Store(false)
+	eng.emit(trace.SpoutsResumed, "", "", "")
 }
 
 // resumeSpoutsAfter re-enables spouts after d unless another halt happened
@@ -365,6 +408,8 @@ func (eng *Engine) resumeSpoutsAfter(d time.Duration) {
 	t := time.AfterFunc(d, func() {
 		if eng.haltGen.Load() == gen {
 			eng.spoutsHalted.Store(false)
+			eng.emit(trace.SpoutsResumed, "", "",
+				fmt.Sprintf("after %v halt delay", d))
 		}
 	})
 	eng.timerMu.Lock()

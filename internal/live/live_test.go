@@ -42,7 +42,7 @@ type recordBolt struct {
 	idx    int
 }
 
-func (b *recordBolt) Prepare(ctx *engine.Context)       { b.idx = ctx.Index }
+func (b *recordBolt) Prepare(ctx *engine.Context)         { b.idx = ctx.Index }
 func (b *recordBolt) Execute(tuple.Tuple, engine.Emitter) { b.counts[b.idx].Add(1) }
 
 // groupWords drive the fields-grouping assertions.
@@ -191,7 +191,7 @@ func (s *tickSpout) Fail(any) {}
 
 type devnullBolt struct{}
 
-func (devnullBolt) Prepare(*engine.Context)          {}
+func (devnullBolt) Prepare(*engine.Context)             {}
 func (devnullBolt) Execute(tuple.Tuple, engine.Emitter) {}
 
 // TestApplyMigratesExecutors exercises the smoothed re-assignment path:

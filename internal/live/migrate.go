@@ -2,8 +2,10 @@ package live
 
 import (
 	"fmt"
+	"time"
 
 	"tstorm/internal/cluster"
+	"tstorm/internal/trace"
 )
 
 // Apply migrates the named topology to the given assignment with the
@@ -47,12 +49,30 @@ func (eng *Engine) Apply(name string, next *cluster.Assignment) (int, error) {
 		return 0, nil
 	}
 
+	applyStart := time.Now()
+	eng.emit(trace.AssignmentPublished, name, "",
+		"applying new assignment: halt spouts, drain, migrate")
 	eng.HaltSpouts()
 	defer eng.resumeSpoutsAfter(eng.cfg.SpoutHaltDelay)
-	eng.Quiesce(eng.cfg.DrainTimeout)
+	drainStart := time.Now()
+	if eng.Quiesce(eng.cfg.DrainTimeout) {
+		eng.emit(trace.QueuesDrained, name, "",
+			fmt.Sprintf("in-flight tuples drained in %v", time.Since(drainStart).Round(time.Microsecond)))
+	} else {
+		eng.emit(trace.QueuesDrained, name, "",
+			fmt.Sprintf("drain timeout after %v; queues travel with their executors", eng.cfg.DrainTimeout))
+	}
 
+	// Trace emission happens after eng.mu is released: Emit runs
+	// subscribers synchronously, and a subscriber reading engine state
+	// must not deadlock against the migration.
+	type move struct {
+		exec     string
+		from, to cluster.SlotID
+		queued   int
+	}
+	var moves []move
 	eng.mu.Lock()
-	moved := 0
 	for _, e := range app.Topology.Executors() {
 		s := next.Executors[e]
 		old := eng.placement[e]
@@ -66,15 +86,32 @@ func (eng *Engine) Apply(name string, next *cluster.Assignment) (int, error) {
 		}
 		eng.groups[s] = append(eng.groups[s], le)
 		eng.placement[e] = s
-		moved++
+		moves = append(moves, move{exec: e.String(), from: old, to: s, queued: queueLen(le)})
 	}
 	eng.assign[name] = next.Clone()
 	eng.rebuildRoutesLocked()
 	eng.mu.Unlock()
+	moved := len(moves)
+	for _, mv := range moves {
+		eng.emit(trace.ExecutorMigrated, name, mv.to.String(),
+			fmt.Sprintf("%s moved from %s (queue handed off, %d batches)",
+				mv.exec, mv.from, mv.queued))
+	}
 
 	eng.migrations.Add(int64(moved))
 	eng.applies.Add(1)
+	eng.emit(trace.ReassignApplied, name, "",
+		fmt.Sprintf("moved %d executors in %v; spouts resume in %v",
+			moved, time.Since(applyStart).Round(time.Microsecond), eng.cfg.SpoutHaltDelay))
 	return moved, nil
+}
+
+// queueLen reports an executor's current input-queue depth (0 for spouts).
+func queueLen(le *liveExec) int {
+	if le.in == nil {
+		return 0
+	}
+	return len(le.in)
 }
 
 func removeFromGroup(g []*liveExec, le *liveExec) []*liveExec {

@@ -1,16 +1,25 @@
 package live
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"tstorm/internal/cluster"
 	"tstorm/internal/loaddb"
 	"tstorm/internal/topology"
+	"tstorm/internal/trace"
 )
 
 // DefaultMonitorPeriod is the paper's load-monitoring period.
 const DefaultMonitorPeriod = 20 * time.Second
+
+// monitorOverloadThreshold is the node-load fraction of capacity above
+// which a sampling round reports an overload-detected trace event (the
+// simulated generator reschedules at 0.5; the live monitor only reports,
+// so it flags the more alarming level).
+const monitorOverloadThreshold = 0.9
 
 // Monitor is the live-runtime load monitor (§IV-B over wall-clock time):
 // every period it drains each executor's accumulated CPU time and the
@@ -40,6 +49,13 @@ type Monitor struct {
 
 	samples atomic.Int64
 
+	// lastSampleNanos (unix nanos of the last completed round) and
+	// lastRoundNanos (how long that round took) are the stalled-monitor
+	// gauges: a monitor that stops sampling — the silent failure mode of
+	// §IV-B — shows up on /metrics as an ever-growing last-sample age.
+	lastSampleNanos atomic.Int64
+	lastRoundNanos  atomic.Int64
+
 	stop     chan struct{}
 	stopOnce sync.Once
 	done     chan struct{}
@@ -61,6 +77,7 @@ func StartMonitor(eng *Engine, db *loaddb.DB, period time.Duration) *Monitor {
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
 	}
+	m.lastSampleNanos.Store(time.Now().UnixNano())
 	go m.loop()
 	return m
 }
@@ -90,6 +107,19 @@ func (m *Monitor) Stop() {
 
 // Samples reports how many sampling rounds have run.
 func (m *Monitor) Samples() int { return int(m.samples.Load()) }
+
+// LastSampleAge reports how long ago the last sampling round completed
+// (since StartMonitor if none has). A stalled monitor shows an age far
+// beyond its period.
+func (m *Monitor) LastSampleAge() time.Duration {
+	return time.Duration(time.Now().UnixNano() - m.lastSampleNanos.Load())
+}
+
+// LastRoundDuration reports how long the last sampling round took (0
+// before the first round).
+func (m *Monitor) LastRoundDuration() time.Duration {
+	return time.Duration(m.lastRoundNanos.Load())
+}
 
 // Period returns the sampling period.
 func (m *Monitor) Period() time.Duration { return m.period }
@@ -130,12 +160,15 @@ func (m *Monitor) Sample() {
 	rt := eng.routes.Load()
 
 	loads := make(map[topology.ExecutorID]float64, len(rt.byDense))
+	nodeLoad := make(map[cluster.NodeID]float64)
 	for _, le := range rt.byDense {
 		nanos := le.cpuNanos.Swap(0) // drain even when skipped below
 		if m.forgotten[le.id.Topology] {
 			continue
 		}
-		loads[le.id] = float64(nanos) / 1e9 / secs * eng.cfg.RefMHz
+		mhz := float64(nanos) / 1e9 / secs * eng.cfg.RefMHz
+		loads[le.id] = mhz
+		nodeLoad[rt.slotOf[le.dense].Node] += mhz
 	}
 
 	flows := make(map[loaddb.FlowKey]float64)
@@ -154,4 +187,20 @@ func (m *Monitor) Sample() {
 		}
 	}
 	m.db.ApplyWindow(loads, flows)
+
+	m.lastRoundNanos.Store(int64(time.Since(now)))
+	m.lastSampleNanos.Store(time.Now().UnixNano())
+	eng.emit(trace.MonitorSampled, "", "",
+		fmt.Sprintf("%d executors, %d flows over %.3fs window", len(loads), len(flows), secs))
+	for node, mhz := range nodeLoad {
+		n, ok := eng.cl.Node(node)
+		if !ok {
+			continue
+		}
+		if capMHz := n.CapacityMHz(); capMHz > 0 && mhz > monitorOverloadThreshold*capMHz {
+			eng.emit(trace.OverloadDetected, "", string(node),
+				fmt.Sprintf("measured %.0f MHz > %.0f%% of %.0f MHz capacity",
+					mhz, 100*monitorOverloadThreshold, capMHz))
+		}
+	}
 }

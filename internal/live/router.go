@@ -216,6 +216,10 @@ func (eng *Engine) deliver(d *delivery) bool {
 	case hopInterProc:
 		eng.interProcSent.Add(n)
 	}
-	eng.traffic.Add(d.msgs[0].from, d.to.dense, float64(n))
+	from := d.msgs[0].from
+	if m := eng.edges.Load(); m != nil {
+		m.counts[from*m.n+d.to.dense].byHop[d.hop].Add(n)
+	}
+	eng.traffic.Add(from, d.to.dense, float64(n))
 	return true
 }

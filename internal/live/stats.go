@@ -1,6 +1,9 @@
 package live
 
 import (
+	"sort"
+
+	"tstorm/internal/cluster"
 	"tstorm/internal/metrics"
 	"tstorm/internal/topology"
 )
@@ -74,6 +77,13 @@ func (eng *Engine) DrainLatency() *metrics.Histogram {
 	return eng.latency.Drain()
 }
 
+// LatencySnapshot returns the cumulative end-to-end latency histogram
+// (never reset). Scrapers read this; DrainLatency's windowed resets are
+// unaffected, so a concurrent scrape cannot lose benchmark samples.
+func (eng *Engine) LatencySnapshot() *metrics.Histogram {
+	return eng.latency.Snapshot()
+}
+
 // ExecutorProcessed reports one executor's lifetime processed-tuple count
 // (0 for unknown executors and spouts). It reads the routing snapshot, so
 // it never contends with Submit/Apply.
@@ -84,4 +94,141 @@ func (eng *Engine) ExecutorProcessed(e topology.ExecutorID) int64 {
 		return 0
 	}
 	return le.processed.Load()
+}
+
+// ExecutorStat is one executor's telemetry snapshot.
+type ExecutorStat struct {
+	ID   topology.ExecutorID
+	Slot cluster.SlotID
+	// Kind is "spout", "bolt", or "acker".
+	Kind string
+	// QueueLen and QueueCap describe the input queue in delivery batches
+	// (both 0 for spouts and ackers, which have no queue).
+	QueueLen int
+	QueueCap int
+	// Processed and Emitted are lifetime tuple counts.
+	Processed int64
+	Emitted   int64
+	// ProcLatency is a snapshot of the per-tuple process-time histogram
+	// in milliseconds (nil for spouts and ackers).
+	ProcLatency *metrics.Histogram
+}
+
+// ExecutorStats snapshots every executor's gauges and counters, sorted by
+// executor identity. It reads the routing snapshot and per-executor
+// atomics only — no engine lock.
+func (eng *Engine) ExecutorStats() []ExecutorStat {
+	rt := eng.routes.Load()
+	out := make([]ExecutorStat, 0, len(rt.byDense))
+	for dense, le := range rt.byDense {
+		st := ExecutorStat{
+			ID:        le.id,
+			Slot:      rt.slotOf[dense],
+			Processed: le.processed.Load(),
+			Emitted:   le.emitted.Load(),
+		}
+		switch le.kind {
+		case spoutExec:
+			st.Kind = "spout"
+		case boltExec:
+			st.Kind = "bolt"
+		default:
+			st.Kind = "acker"
+		}
+		if le.in != nil {
+			st.QueueLen = len(le.in)
+			st.QueueCap = cap(le.in)
+		}
+		if le.procLat != nil {
+			st.ProcLatency = le.procLat.Snapshot()
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID.Less(out[j].ID) })
+	return out
+}
+
+// MaxQueueDepth reports the deepest input queue across all executors right
+// now (in delivery batches) — the backpressure gauge benchmarks poll for
+// per-phase peaks.
+func (eng *Engine) MaxQueueDepth() int {
+	rt := eng.routes.Load()
+	maxDepth := 0
+	for _, le := range rt.byDense {
+		if le.in != nil && len(le.in) > maxDepth {
+			maxDepth = len(le.in)
+		}
+	}
+	return maxDepth
+}
+
+// EdgeStat is one directed executor pair's lifetime transfer count over
+// one boundary class.
+type EdgeStat struct {
+	From, To topology.ExecutorID
+	// Boundary is "local", "inter-process", or "inter-node" — the class
+	// of the hop when the tuples were sent (an edge that straddled an
+	// Apply reports one EdgeStat per class).
+	Boundary string
+	Tuples   int64
+}
+
+// hopNames maps hopKind to its exposition label.
+var hopNames = [3]string{hopLocal: "local", hopInterProc: "inter-process", hopInterNode: "inter-node"}
+
+// EdgeStats snapshots the non-zero per-edge counters, sorted by (from, to,
+// boundary). Counts are lifetime cumulative; the monitor's traffic-matrix
+// drains do not affect them.
+func (eng *Engine) EdgeStats() []EdgeStat {
+	m := eng.edges.Load()
+	if m == nil {
+		return nil
+	}
+	rt := eng.routes.Load()
+	var out []EdgeStat
+	for from := 0; from < m.n; from++ {
+		for to := 0; to < m.n; to++ {
+			ec := &m.counts[from*m.n+to]
+			for hop, name := range hopNames {
+				if c := ec.byHop[hop].Load(); c > 0 {
+					out = append(out, EdgeStat{
+						From:     rt.denseRev[from],
+						To:       rt.denseRev[to],
+						Boundary: name,
+						Tuples:   c,
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := &out[i], &out[j]
+		if a.From != b.From {
+			return a.From.Less(b.From)
+		}
+		if a.To != b.To {
+			return a.To.Less(b.To)
+		}
+		return a.Boundary < b.Boundary
+	})
+	return out
+}
+
+// PlacementEntry is one executor's current slot, for /debug/placement.
+type PlacementEntry struct {
+	Executor topology.ExecutorID `json:"executor"`
+	Slot     cluster.SlotID      `json:"slot"`
+}
+
+// Placement snapshots the current executor→slot mapping from the routing
+// snapshot (so it reflects an Apply the instant the new routes publish),
+// sorted by executor identity.
+func (eng *Engine) Placement() []PlacementEntry {
+	rt := eng.routes.Load()
+	out := make([]PlacementEntry, 0, len(rt.byDense))
+	for dense, le := range rt.byDense {
+		out = append(out, PlacementEntry{Executor: le.id, Slot: rt.slotOf[dense]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Executor.Less(out[j].Executor) })
+	return out
 }

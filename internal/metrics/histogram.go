@@ -60,8 +60,42 @@ func (h *Histogram) Add(v float64) {
 	}
 }
 
+// upperBound returns bin i's exclusive upper bound.
+func (h *Histogram) upperBound(i int) float64 {
+	return h.lo * math.Pow(10, float64(i+1)/float64(h.binsPerDecade))
+}
+
+// Bucket is one non-empty bin of a histogram, for exposition.
+type Bucket struct {
+	// UpperBound is the bin's exclusive upper bound.
+	UpperBound float64
+	// Count is the number of values recorded in the bin.
+	Count int64
+}
+
+// Buckets returns the non-empty bins in ascending bound order.
+func (h *Histogram) Buckets() []Bucket {
+	var out []Bucket
+	for i, c := range h.counts {
+		if c > 0 {
+			out = append(out, Bucket{UpperBound: h.upperBound(i), Count: c})
+		}
+	}
+	return out
+}
+
+// Clone returns an independent copy.
+func (h *Histogram) Clone() *Histogram {
+	c := *h
+	c.counts = append([]int64(nil), h.counts...)
+	return &c
+}
+
 // Count reports the number of recorded values.
 func (h *Histogram) Count() int64 { return h.total }
+
+// Sum reports the exact sum of recorded values.
+func (h *Histogram) Sum() float64 { return h.sum }
 
 // Mean reports the exact mean of recorded values (0 when empty).
 func (h *Histogram) Mean() float64 {

@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestScrapeNeverLosesDrainSamples is the scrape/drain-conflict proof: a
+// scraper calling Snapshot as fast as it can, concurrent with writers and
+// a benchmark repeatedly draining windows, must not cost the benchmark a
+// single sample — every value lands in exactly one drained window, and
+// the cumulative snapshot converges to the full total.
+func TestScrapeNeverLosesDrainSamples(t *testing.T) {
+	h := NewSyncLatencyHistogram()
+	const writers, per = 4, 2000
+	total := int64(writers * per)
+
+	var wg sync.WaitGroup
+	stopScrape := make(chan struct{})
+
+	// Scraper: hammer the cumulative snapshot during the whole run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stopScrape:
+				return
+			default:
+				if s := h.Snapshot(); s.Count() > total {
+					t.Errorf("snapshot count %d exceeds written total %d", s.Count(), total)
+					return
+				}
+			}
+		}
+	}()
+
+	// Benchmark: drain windows continuously, summing what each returns.
+	var drained int64
+	var drainWG sync.WaitGroup
+	stopDrain := make(chan struct{})
+	drainWG.Add(1)
+	go func() {
+		defer drainWG.Done()
+		for {
+			select {
+			case <-stopDrain:
+				return
+			default:
+				drained += h.Drain().Count()
+			}
+		}
+	}()
+
+	var writerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func() {
+			defer writerWG.Done()
+			for i := 0; i < per; i++ {
+				h.Add(1.0)
+			}
+		}()
+	}
+	writerWG.Wait()
+	close(stopDrain)
+	drainWG.Wait()
+	drained += h.Drain().Count() // final partial window
+	close(stopScrape)
+	wg.Wait()
+
+	if drained != total {
+		t.Fatalf("drained windows sum to %d samples, writers recorded %d — scrape stole %d",
+			drained, total, total-drained)
+	}
+	if got := h.Snapshot().Count(); got != total {
+		t.Fatalf("cumulative snapshot has %d samples, want %d", got, total)
+	}
+}
+
+// TestSnapshotIsCumulativeAcrossDrains pins the two views' semantics:
+// Drain returns disjoint windows, Snapshot the lifetime union.
+func TestSnapshotIsCumulativeAcrossDrains(t *testing.T) {
+	h := NewSyncLatencyHistogram()
+	h.Add(1)
+	h.Add(2)
+	if w := h.Drain(); w.Count() != 2 {
+		t.Fatalf("first window %d, want 2", w.Count())
+	}
+	h.Add(3)
+	if got := h.Snapshot().Count(); got != 3 {
+		t.Fatalf("cumulative %d after drain, want 3", got)
+	}
+	if w := h.Drain(); w.Count() != 1 {
+		t.Fatalf("second window %d, want 1", w.Count())
+	}
+	if got := h.Snapshot().Count(); got != 3 {
+		t.Fatalf("cumulative %d, want 3", got)
+	}
+	// The snapshot is a copy: mutating it must not touch the source.
+	s := h.Snapshot()
+	s.Add(4)
+	if got := h.Snapshot().Count(); got != 3 {
+		t.Fatalf("snapshot aliased internal state: %d, want 3", got)
+	}
+}

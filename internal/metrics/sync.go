@@ -47,26 +47,38 @@ func (s *SyncTrafficMatrix) Snapshot() map[Pair]float64 {
 
 // SyncHistogram is a Histogram safe for concurrent use — the live runtime
 // records end-to-end tuple latencies from every sink executor goroutine.
+//
+// It keeps two histograms under one lock: a window (reset by Drain, the
+// benchmark view) and a cumulative one (never reset, the scraper view via
+// Snapshot). Scrapes and drains therefore cannot interfere by
+// construction: a Snapshot copies the cumulative side and leaves the
+// window untouched, so no benchmark sample is ever lost to a concurrent
+// scrape.
 type SyncHistogram struct {
-	mu sync.Mutex
-	h  *Histogram
+	mu  sync.Mutex
+	h   *Histogram // current window, swapped out by Drain
+	cum *Histogram // lifetime accumulation, copied by Snapshot
 }
 
 // NewSyncHistogram wraps a fresh histogram with the given shape.
 func NewSyncHistogram(lo, hi float64, binsPerDecade int) *SyncHistogram {
-	return &SyncHistogram{h: NewHistogram(lo, hi, binsPerDecade)}
+	return &SyncHistogram{
+		h:   NewHistogram(lo, hi, binsPerDecade),
+		cum: NewHistogram(lo, hi, binsPerDecade),
+	}
 }
 
 // NewSyncLatencyHistogram covers the same range as NewLatencyHistogram.
 func NewSyncLatencyHistogram() *SyncHistogram {
-	return &SyncHistogram{h: NewLatencyHistogram()}
+	return &SyncHistogram{h: NewLatencyHistogram(), cum: NewLatencyHistogram()}
 }
 
-// Add records one value.
+// Add records one value into both the window and the cumulative histogram.
 func (s *SyncHistogram) Add(v float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.h.Add(v)
+	s.cum.Add(v)
 }
 
 // Count reports the number of recorded values.
@@ -90,13 +102,22 @@ func (s *SyncHistogram) Quantile(q float64) float64 {
 	return s.h.Quantile(q)
 }
 
-// Drain returns the accumulated histogram and replaces it with a fresh one
-// of the same shape, so callers can measure disjoint windows (e.g. before
-// and after a re-assignment).
+// Drain returns the current window's histogram and replaces it with a
+// fresh one of the same shape, so callers can measure disjoint windows
+// (e.g. before and after a re-assignment). The cumulative histogram is
+// unaffected.
 func (s *SyncHistogram) Drain() *Histogram {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := s.h
 	s.h = NewHistogram(out.lo, out.hi, out.binsPerDecade)
 	return out
+}
+
+// Snapshot returns a copy of the cumulative (never reset) histogram. It
+// does not touch the window, so concurrent Drains lose nothing to it.
+func (s *SyncHistogram) Snapshot() *Histogram {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cum.Clone()
 }

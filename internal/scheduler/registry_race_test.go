@@ -11,8 +11,10 @@ import (
 // namedAlgo is a minimal Algorithm for registry tests.
 type namedAlgo struct{ name string }
 
-func (a namedAlgo) Name() string                                  { return a.name }
-func (a namedAlgo) Schedule(*Input) (*cluster.Assignment, error) { return cluster.NewAssignment(0), nil }
+func (a namedAlgo) Name() string { return a.name }
+func (a namedAlgo) Schedule(*Input) (*cluster.Assignment, error) {
+	return cluster.NewAssignment(0), nil
+}
 
 // TestRegistryConcurrentAccess hammers the hot-swap registry from many
 // goroutines at once — the schedule generator looks algorithms up while

@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"math"
+	"strconv"
+	"strings"
+
+	"tstorm/internal/metrics"
+)
+
+// expo accumulates Prometheus text-format (version 0.0.4) output. Callers
+// write families in a fixed order and pre-sorted sample sets, so two
+// scrapes of identical state produce byte-identical documents — the
+// determinism the format tests pin down.
+type expo struct {
+	b strings.Builder
+}
+
+// label is one key="value" pair. Keys must be valid metric label names;
+// values are escaped on write.
+type label struct {
+	k, v string
+}
+
+// family writes the # HELP / # TYPE preamble for a metric family. typ is
+// "counter", "gauge", or "histogram".
+func (e *expo) family(name, help, typ string) {
+	e.b.WriteString("# HELP ")
+	e.b.WriteString(name)
+	e.b.WriteByte(' ')
+	e.b.WriteString(help)
+	e.b.WriteString("\n# TYPE ")
+	e.b.WriteString(name)
+	e.b.WriteByte(' ')
+	e.b.WriteString(typ)
+	e.b.WriteByte('\n')
+}
+
+// sample writes one sample line: name{labels} value.
+func (e *expo) sample(name string, labels []label, v float64) {
+	e.b.WriteString(name)
+	if len(labels) > 0 {
+		e.b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				e.b.WriteByte(',')
+			}
+			e.b.WriteString(l.k)
+			e.b.WriteString(`="`)
+			e.b.WriteString(escapeLabel(l.v))
+			e.b.WriteByte('"')
+		}
+		e.b.WriteByte('}')
+	}
+	e.b.WriteByte(' ')
+	e.b.WriteString(formatValue(v))
+	e.b.WriteByte('\n')
+}
+
+// histogram writes one histogram series: cumulative _bucket lines over the
+// snapshot's non-empty bins, the mandatory le="+Inf" bucket, then _sum and
+// _count. An empty histogram still yields the +Inf bucket and zero
+// sum/count, so scrapers always see a complete series.
+func (e *expo) histogram(name string, labels []label, h *metrics.Histogram) {
+	var cum int64
+	for _, b := range h.Buckets() {
+		cum += b.Count
+		e.sample(name+"_bucket", append(append([]label(nil), labels...),
+			label{"le", formatValue(b.UpperBound)}), float64(cum))
+	}
+	e.sample(name+"_bucket", append(append([]label(nil), labels...),
+		label{"le", "+Inf"}), float64(h.Count()))
+	e.sample(name+"_sum", labels, h.Sum())
+	e.sample(name+"_count", labels, float64(h.Count()))
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote, and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// formatValue renders a sample value. Integral values print without
+// exponent or decimal point so counters read naturally.
+func formatValue(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,274 @@
+// Package telemetry exposes the live runtime's measurements over HTTP: a
+// Prometheus text-format /metrics endpoint (cumulative counters and
+// histograms, safe to scrape while benchmarks drain their own windows),
+// /debug/placement (the current routing snapshot's executor→slot map as
+// JSON), and /debug/trace (recent wall-clock runtime events from the ring
+// buffer, as JSON or a plain-text timeline).
+//
+// Everything the handlers read comes from lock-free snapshots — the
+// engine's copy-on-write route table, per-executor atomics, and the
+// cumulative side of the latency histogram — so a scraper polling at any
+// rate never contends with the emission hot path or with a concurrent
+// re-assignment.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"tstorm/internal/live"
+	"tstorm/internal/trace"
+)
+
+// Config selects what a Server exposes. Engine is required; Monitor and
+// Trace add their endpoints' data when present.
+type Config struct {
+	// Engine is the live engine to instrument.
+	Engine *live.Engine
+	// Monitor, when non-nil, contributes the sampling gauges
+	// (tstorm_monitor_*) to /metrics.
+	Monitor *live.Monitor
+	// Trace, when non-nil, backs /debug/trace and the dropped-events
+	// counter. Typically the same recorder as the engine's Config.Trace.
+	Trace *trace.Recorder
+	// TraceLimit caps how many events /debug/trace returns per request
+	// (default 256; the ?n= query parameter can only lower it).
+	TraceLimit int
+}
+
+// Server serves the telemetry endpoints.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+	srv *http.Server
+	ln  net.Listener
+}
+
+// NewServer builds a server over the given sources (not yet listening).
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("telemetry: nil engine")
+	}
+	if cfg.TraceLimit <= 0 {
+		cfg.TraceLimit = 256
+	}
+	s := &Server{cfg: cfg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/placement", s.handlePlacement)
+	s.mux.HandleFunc("/debug/trace", s.handleTrace)
+	return s, nil
+}
+
+// Handler returns the endpoint mux, for tests and embedding.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start binds addr (e.g. ":9090" or "127.0.0.1:0") and serves in a
+// background goroutine. It returns once the listener is bound, so Addr is
+// immediately valid.
+func (s *Server) Start(addr string) error {
+	if s.ln != nil {
+		return fmt.Errorf("telemetry: already started")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return nil
+}
+
+// Addr returns the bound listen address ("" before Start).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener and open connections. Safe when never started.
+func (s *Server) Close() error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// handleMetrics renders the full Prometheus text-format document. Families
+// are written in a fixed order and samples within a family are pre-sorted
+// (ExecutorStats and EdgeStats sort by identity), so output ordering is
+// deterministic.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	eng := s.cfg.Engine
+	var e expo
+
+	t := eng.Totals()
+	engineCounters := []struct {
+		name, help string
+		v          int64
+	}{
+		{"tstorm_engine_roots_emitted_total", "Spout root tuples emitted.", t.RootsEmitted},
+		{"tstorm_engine_tuples_sent_total", "Executor-to-executor transfers.", t.TuplesSent},
+		{"tstorm_engine_inter_node_sent_total", "Transfers that crossed an emulated node boundary.", t.InterNodeSent},
+		{"tstorm_engine_inter_process_sent_total", "Transfers between slots on one node.", t.InterProcessSent},
+		{"tstorm_engine_processed_total", "Tuples processed by bolts.", t.Processed},
+		{"tstorm_engine_sink_processed_total", "Tuples processed by terminal bolts.", t.SinkProcessed},
+		{"tstorm_engine_migrations_total", "Executors moved by re-assignments.", t.Migrations},
+		{"tstorm_engine_applies_total", "Re-assignments applied.", t.Applies},
+	}
+	for _, c := range engineCounters {
+		e.family(c.name, c.help, "counter")
+		e.sample(c.name, nil, float64(c.v))
+	}
+
+	e.family("tstorm_latency_ms", "End-to-end tuple latency, spout emit to terminal bolt (cumulative).", "histogram")
+	e.histogram("tstorm_latency_ms", nil, eng.LatencySnapshot())
+
+	stats := eng.ExecutorStats()
+	execLabels := func(st *live.ExecutorStat) []label {
+		return []label{
+			{"topology", st.ID.Topology},
+			{"component", st.ID.Component},
+			{"index", strconv.Itoa(st.ID.Index)},
+		}
+	}
+	e.family("tstorm_executor_queue_depth", "Input-queue depth in delivery batches.", "gauge")
+	for i := range stats {
+		if stats[i].Kind == "bolt" {
+			e.sample("tstorm_executor_queue_depth", execLabels(&stats[i]), float64(stats[i].QueueLen))
+		}
+	}
+	e.family("tstorm_executor_queue_capacity", "Input-queue capacity in delivery batches.", "gauge")
+	for i := range stats {
+		if stats[i].Kind == "bolt" {
+			e.sample("tstorm_executor_queue_capacity", execLabels(&stats[i]), float64(stats[i].QueueCap))
+		}
+	}
+	e.family("tstorm_executor_processed_total", "Lifetime tuples processed by the executor.", "counter")
+	for i := range stats {
+		e.sample("tstorm_executor_processed_total", execLabels(&stats[i]), float64(stats[i].Processed))
+	}
+	e.family("tstorm_executor_emitted_total", "Lifetime tuples emitted by the executor.", "counter")
+	for i := range stats {
+		e.sample("tstorm_executor_emitted_total", execLabels(&stats[i]), float64(stats[i].Emitted))
+	}
+	e.family("tstorm_executor_process_latency_ms", "Per-tuple process time (decode + Execute).", "histogram")
+	for i := range stats {
+		if stats[i].ProcLatency != nil {
+			e.histogram("tstorm_executor_process_latency_ms", execLabels(&stats[i]), stats[i].ProcLatency)
+		}
+	}
+
+	e.family("tstorm_edge_tuples_total", "Tuples transferred per executor pair, by boundary class.", "counter")
+	for _, es := range eng.EdgeStats() {
+		e.sample("tstorm_edge_tuples_total", []label{
+			{"from", es.From.String()},
+			{"to", es.To.String()},
+			{"boundary", es.Boundary},
+		}, float64(es.Tuples))
+	}
+
+	if m := s.cfg.Monitor; m != nil {
+		e.family("tstorm_monitor_samples_total", "Completed monitor sampling rounds.", "counter")
+		e.sample("tstorm_monitor_samples_total", nil, float64(m.Samples()))
+		e.family("tstorm_monitor_last_sample_age_seconds", "Seconds since the last completed sampling round.", "gauge")
+		e.sample("tstorm_monitor_last_sample_age_seconds", nil, m.LastSampleAge().Seconds())
+		e.family("tstorm_monitor_sampling_round_duration_seconds", "Duration of the last sampling round.", "gauge")
+		e.sample("tstorm_monitor_sampling_round_duration_seconds", nil, m.LastRoundDuration().Seconds())
+	}
+
+	if rec := s.cfg.Trace; rec != nil {
+		e.family("tstorm_trace_dropped_total", "Trace events evicted from the ring buffer.", "counter")
+		e.sample("tstorm_trace_dropped_total", nil, float64(rec.Dropped()))
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, e.b.String())
+}
+
+// placementDoc is the /debug/placement response body.
+type placementDoc struct {
+	// Applies and Migrations are lifetime re-assignment counters; a
+	// scraper can detect "placement changed since last poll" cheaply.
+	Applies    int64                 `json:"applies"`
+	Migrations int64                 `json:"migrations"`
+	Placements []live.PlacementEntry `json:"placements"`
+}
+
+func (s *Server) handlePlacement(w http.ResponseWriter, r *http.Request) {
+	t := s.cfg.Engine.Totals()
+	doc := placementDoc{
+		Applies:    t.Applies,
+		Migrations: t.Migrations,
+		Placements: s.cfg.Engine.Placement(),
+	}
+	writeJSON(w, doc)
+}
+
+// traceEventDoc is one /debug/trace event. Wall-clock events carry Time;
+// simulated events carry SimSeconds.
+type traceEventDoc struct {
+	Time       string   `json:"time,omitempty"`
+	SimSeconds *float64 `json:"sim_seconds,omitempty"`
+	Kind       string   `json:"kind"`
+	Topology   string   `json:"topology,omitempty"`
+	Where      string   `json:"where,omitempty"`
+	Detail     string   `json:"detail,omitempty"`
+}
+
+// handleTrace returns the most recent ring-buffer events, oldest first.
+// ?n= lowers the event count; ?format=text returns the rendered one-line
+// timeline instead of JSON.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	rec := s.cfg.Trace
+	if rec == nil {
+		http.Error(w, "tracing not enabled", http.StatusNotFound)
+		return
+	}
+	events := rec.Events()
+	limit := s.cfg.TraceLimit
+	if q := r.URL.Query().Get("n"); q != "" {
+		if n, err := strconv.Atoi(q); err == nil && n > 0 && n < limit {
+			limit = n
+		}
+	}
+	if len(events) > limit {
+		events = events[len(events)-limit:]
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, ev := range events {
+			fmt.Fprintln(w, ev.String())
+		}
+		return
+	}
+	docs := make([]traceEventDoc, 0, len(events))
+	for _, ev := range events {
+		d := traceEventDoc{
+			Kind:     string(ev.Kind),
+			Topology: ev.Topology,
+			Where:    ev.Where,
+			Detail:   ev.Detail,
+		}
+		if !ev.Wall.IsZero() {
+			d.Time = ev.Wall.Format(time.RFC3339Nano)
+		} else {
+			secs := ev.At.Seconds()
+			d.SimSeconds = &secs
+		}
+		docs = append(docs, d)
+	}
+	writeJSON(w, docs)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // best-effort over HTTP
+}

@@ -8,6 +8,7 @@ package trace
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"tstorm/internal/sim"
 )
@@ -31,9 +32,24 @@ const (
 	AlgorithmSwapped    Kind = "algorithm-swapped"
 )
 
-// Event is one recorded occurrence.
+// Event kinds emitted by the live (wall-clock) runtime. They carry Wall
+// instead of At.
+const (
+	ReassignApplied  Kind = "reassign-applied"
+	SpoutsHalted     Kind = "spouts-halted"
+	SpoutsResumed    Kind = "spouts-resumed"
+	QueuesDrained    Kind = "queues-drained"
+	ExecutorMigrated Kind = "executor-migrated"
+	MonitorSampled   Kind = "monitor-sampled"
+)
+
+// Event is one recorded occurrence. Simulated components stamp At; the
+// live runtime stamps Wall. Exactly one of the two is meaningful — Wall's
+// zero value marks a simulated event.
 type Event struct {
-	At       sim.Time
+	At sim.Time
+	// Wall is the wall-clock instant, set by the live runtime.
+	Wall     time.Time
 	Kind     Kind
 	Topology string
 	// Where names the node/slot involved, when applicable.
@@ -42,9 +58,20 @@ type Event struct {
 	Detail string
 }
 
-// String renders "t=123.4s kind topo@where: detail".
+// WallEvent builds a wall-clock event stamped now.
+func WallEvent(kind Kind, topo, where, detail string) Event {
+	return Event{Wall: time.Now(), Kind: kind, Topology: topo, Where: where, Detail: detail}
+}
+
+// String renders "t=123.4s kind topo@where: detail" for simulated events
+// and "t=15:04:05.000 kind topo@where: detail" for wall-clock ones.
 func (e Event) String() string {
-	s := fmt.Sprintf("t=%.1fs %s", e.At.Seconds(), e.Kind)
+	var s string
+	if !e.Wall.IsZero() {
+		s = fmt.Sprintf("t=%s %s", e.Wall.Format("15:04:05.000"), e.Kind)
+	} else {
+		s = fmt.Sprintf("t=%.1fs %s", e.At.Seconds(), e.Kind)
+	}
 	if e.Topology != "" {
 		s += " " + e.Topology
 	}

@@ -1,0 +1,53 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWallEventString checks that a wall-clock event renders its clock
+// time, and a simulated event keeps the seconds rendering.
+func TestWallEventString(t *testing.T) {
+	wall := time.Date(2026, 8, 5, 13, 4, 5, 678e6, time.UTC)
+	ev := Event{Wall: wall, Kind: ExecutorMigrated, Topology: "wc",
+		Where: "node02:6700", Detail: "queue handed off"}
+	s := ev.String()
+	for _, want := range []string{"t=13:04:05.678", "executor-migrated", "wc@node02:6700", "queue handed off"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+	simEv := Event{At: at(2.5), Kind: SpoutsHalted}
+	if got := simEv.String(); !strings.HasPrefix(got, "t=2.5s spouts-halted") {
+		t.Errorf("sim event renders %q", got)
+	}
+}
+
+// TestWallEventStampsNow sanity-checks the constructor.
+func TestWallEventStamps(t *testing.T) {
+	before := time.Now()
+	ev := WallEvent(MonitorSampled, "", "", "round")
+	if ev.Wall.Before(before) || time.Since(ev.Wall) > time.Minute {
+		t.Fatalf("WallEvent stamped %v", ev.Wall)
+	}
+	if ev.Kind != MonitorSampled || ev.Detail != "round" {
+		t.Fatalf("fields lost: %+v", ev)
+	}
+}
+
+// TestRecorderMixesSimAndWall ensures one ring can hold both event
+// families (the live engine and simulated runtime may share a recorder in
+// parity tests).
+func TestRecorderMixesSimAndWall(t *testing.T) {
+	r := NewRecorder(4)
+	r.Emit(Event{At: at(1), Kind: WorkerStarted})
+	r.Emit(WallEvent(ReassignApplied, "wc", "", "moved 3"))
+	evs := r.Events()
+	if len(evs) != 2 {
+		t.Fatalf("retained %d events", len(evs))
+	}
+	if !evs[0].Wall.IsZero() || evs[1].Wall.IsZero() {
+		t.Fatalf("wall stamps wrong: %+v", evs)
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"tstorm/internal/monitor"
 	"tstorm/internal/predictor"
 	"tstorm/internal/scheduler"
+	"tstorm/internal/telemetry"
 	"tstorm/internal/topology"
 	"tstorm/internal/trace"
 	"tstorm/internal/tuple"
@@ -150,6 +151,7 @@ func NewLiveEngine(cfg LiveConfig, cl *Cluster) (*LiveEngine, error) {
 // runtime: the same load database and Algorithm 1 as Wire's Stack, fed by
 // wall-clock measurements instead of simulated ones.
 type LiveStack struct {
+	Engine    *LiveEngine
 	DB        *LoadDB
 	Monitor   *LiveMonitor
 	Generator *LiveGenerator
@@ -167,7 +169,27 @@ func WireLive(eng *LiveEngine, gamma float64) (*LiveStack, error) {
 		mon.Stop()
 		return nil, err
 	}
-	return &LiveStack{DB: db, Monitor: mon, Generator: gen}, nil
+	return &LiveStack{Engine: eng, DB: db, Monitor: mon, Generator: gen}, nil
+}
+
+// StartTelemetry serves the stack's observability endpoints — Prometheus
+// text-format /metrics, /debug/placement, and /debug/trace (when the
+// engine was built with LiveConfig.Trace) — on addr (e.g. ":9090", or
+// "127.0.0.1:0" for an ephemeral port; read the bound address back with
+// Addr). Close the returned server when done.
+func (s *LiveStack) StartTelemetry(addr string) (*TelemetryServer, error) {
+	srv, err := telemetry.NewServer(telemetry.Config{
+		Engine:  s.Engine,
+		Monitor: s.Monitor,
+		Trace:   s.Engine.Trace(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := srv.Start(addr); err != nil {
+		return nil, err
+	}
+	return srv, nil
 }
 
 // Stop halts the live stack's periodic work (not the engine itself).
@@ -190,9 +212,20 @@ type (
 	TraceRecorder = trace.Recorder
 	// TraceEvent is one recorded runtime event.
 	TraceEvent = trace.Event
+	// TelemetryServer serves /metrics (Prometheus text format),
+	// /debug/placement, and /debug/trace for a live engine.
+	TelemetryServer = telemetry.Server
+	// TelemetryConfig selects what a TelemetryServer exposes.
+	TelemetryConfig = telemetry.Config
 	// Estimator is a pluggable load estimator (§IV-B extension point).
 	Estimator = predictor.Estimator
 )
+
+// NewTelemetryServer builds a telemetry server over a live engine and
+// optional monitor/trace sources (not yet listening; call Start).
+func NewTelemetryServer(cfg TelemetryConfig) (*TelemetryServer, error) {
+	return telemetry.NewServer(cfg)
+}
 
 // NewTraceRecorder returns a bounded event recorder; attach it via
 // Config.Trace before building the runtime.
