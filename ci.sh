@@ -6,6 +6,10 @@
 # even when the package list or cache state changes.
 # The telemetry scrape-under-churn stress runs the same way: every /metrics
 # handler read races live emissions and Apply re-assignments.
+# The chaos matrix (worker crashes, crash-during-migration, node failure →
+# reschedule) runs twice under the race detector: fault injection +
+# supervised restart are timing-sensitive, and each test asserts
+# at-least-once conservation (every spout root acked or replayed).
 # The experiment package replays full paper figures, which is slow under
 # the race detector — hence the raised per-package timeout.
 set -eux
@@ -15,4 +19,5 @@ go build ./...
 go vet ./...
 go test -race -count=1 -run 'TestRoutingSnapshotStress|TestRouteObservesSinglePlacement|TestEmissionsFlowWhileEngineLockHeld|TestMonitorStopConcurrent' ./internal/live
 go test -race -count=1 -run 'TestScrapeUnderChurnStress' ./internal/telemetry
+go test -race -count=2 -run 'TestChaos|TestReliabilityParityShape' ./internal/live
 go test -race -timeout 30m ./...

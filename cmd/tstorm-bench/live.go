@@ -57,6 +57,23 @@ type telemetryOverhead struct {
 	ScrapeHz      float64 `json:"scrape_hz"`
 }
 
+// recoveryRun records the kill-a-worker phase: a reliable (at-least-once)
+// run where one bolt-hosting worker is crashed mid-stream and the
+// supervisor restarts it. RecoveryMs is crash-to-90%-of-pre-crash
+// throughput; LostRoots must be zero for the at-least-once claim to hold.
+type recoveryRun struct {
+	Scheduler            string  `json:"scheduler"`
+	AckTimeoutMs         float64 `json:"ack_timeout_ms"`
+	Lines                int     `json:"lines"` // distinct corpus lines fed
+	PreCrashTuplesPerSec float64 `json:"pre_crash_tuples_per_sec"`
+	RecoveryMs           float64 `json:"recovery_ms"` // -1 if 90% was never regained
+	LostRoots            int     `json:"lost_roots"`
+	Replays              int64   `json:"replays"`
+	FailedRoots          int64   `json:"failed_roots"`
+	WorkerCrashes        int64   `json:"worker_crashes"`
+	WorkerRestarts       int64   `json:"worker_restarts"`
+}
+
 // liveReport is the JSON document written by -live -json.
 type liveReport struct {
 	Benchmark   string    `json:"benchmark"`
@@ -65,6 +82,8 @@ type liveReport struct {
 	Runs        []liveRun `json:"runs"`
 	// Speedup is T-Storm's measured tuples/s over the default scheduler's.
 	Speedup float64 `json:"speedup"`
+	// Recovery is the kill-a-worker fault-tolerance phase.
+	Recovery *recoveryRun `json:"recovery,omitempty"`
 	// Telemetry is the scrape-overhead comparison (nil without -json).
 	Telemetry *telemetryOverhead `json:"telemetry_overhead,omitempty"`
 	// LockContentionNote records how the emission path synchronizes, with
@@ -120,6 +139,17 @@ func runLive(duration time.Duration, seed uint64, jsonPath, telemetryAddr string
 		report.Speedup = runs[1].TuplesPerSec / runs[0].TuplesPerSec
 	}
 	fmt.Printf("\nT-Storm speedup over default: %.2f×\n", report.Speedup)
+
+	// Fault-tolerance phase: crash a bolt-hosting worker mid-run under
+	// at-least-once delivery and time the supervised recovery.
+	rec, err := runRecovery(seed)
+	if err != nil {
+		return fmt.Errorf("live recovery run: %w", err)
+	}
+	report.Recovery = &rec
+	fmt.Printf("recovery (kill one worker): %.0f ms back to 90%% of %.0f tuples/s; lost roots %d, replays %d, failed %d, crashes %d, restarts %d\n",
+		rec.RecoveryMs, rec.PreCrashTuplesPerSec, rec.LostRoots, rec.Replays,
+		rec.FailedRoots, rec.WorkerCrashes, rec.WorkerRestarts)
 
 	// Telemetry overhead: a dedicated back-to-back off/on pair of default
 	// runs, so machine state (GC, caches, neighbors) is as equal as two
@@ -342,4 +372,118 @@ func liveOnce(sched string, measure time.Duration, seed uint64, telemetryAddr st
 		Migrations:        eng.Totals().Migrations,
 		Phases:            []livePhase{warmup, measured},
 	}, nil
+}
+
+// runRecovery runs the reliable self-fed Word Count, crashes one
+// bolt-hosting worker once the pipeline is in steady state, and measures
+// how long the supervised restart takes to regain 90% of the pre-crash
+// throughput — then drains the finite corpus to prove no line was lost.
+func runRecovery(seed uint64) (recoveryRun, error) {
+	const (
+		ackTimeout     = time.Second
+		linesPerReader = 40000
+		window         = 250 * time.Millisecond
+	)
+	cl, err := cluster.Uniform(4, 4, 2000, 4)
+	if err != nil {
+		return recoveryRun{}, err
+	}
+	wcfg := workloads.DefaultSelfFedWordCountConfig()
+	wcfg.Sink = docstore.NewStore()
+	wcfg.Limit = linesPerReader
+	wcfg.MaxPending = 256
+	app, audit, err := workloads.NewReliableSelfFedWordCount(wcfg)
+	if err != nil {
+		return recoveryRun{}, err
+	}
+	lines := wcfg.Spouts * linesPerReader
+
+	in := scheduler.NewInput([]*topology.Topology{app.Topology}, cl, nil, 0)
+	initial, err := scheduler.TStormInitial{}.Schedule(in)
+	if err != nil {
+		return recoveryRun{}, err
+	}
+	lcfg := live.DefaultConfig()
+	lcfg.Seed = seed
+	eng, err := live.NewEngine(lcfg, cl)
+	if err != nil {
+		return recoveryRun{}, err
+	}
+	if err := eng.Submit(app, initial); err != nil {
+		return recoveryRun{}, err
+	}
+	eng.SetAckTimeout(ackTimeout)
+	if err := eng.Start(); err != nil {
+		return recoveryRun{}, err
+	}
+	defer eng.Stop()
+	sup := live.StartSupervisor(eng, 0)
+	defer sup.Stop()
+
+	rec := recoveryRun{
+		Scheduler:    "tstorm",
+		AckTimeoutMs: float64(ackTimeout) / float64(time.Millisecond),
+		Lines:        lines,
+		RecoveryMs:   -1,
+	}
+
+	// Steady state, then the pre-crash throughput baseline.
+	time.Sleep(time.Second)
+	t0 := eng.Totals()
+	start := time.Now()
+	time.Sleep(time.Second)
+	pre := float64(eng.Totals().Sub(t0).Processed) / time.Since(start).Seconds()
+	rec.PreCrashTuplesPerSec = pre
+
+	// Crash a worker that hosts split bolts but no reader, so the spouts
+	// keep emitting into the outage.
+	var victim cluster.SlotID
+	hasReader := map[cluster.SlotID]bool{}
+	for _, p := range eng.Placement() {
+		if p.Executor.Component == "reader" {
+			hasReader[p.Slot] = true
+		}
+	}
+	for _, p := range eng.Placement() {
+		if p.Executor.Component == "split" && !hasReader[p.Slot] {
+			victim = p.Slot
+			break
+		}
+	}
+	if victim == (cluster.SlotID{}) {
+		return rec, fmt.Errorf("no bolt-only slot to crash")
+	}
+	crashAt := time.Now()
+	eng.CrashWorker(victim)
+
+	// Poll short windows until throughput regains 90% of the baseline.
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		w0 := eng.Totals()
+		ws := time.Now()
+		time.Sleep(window)
+		rate := float64(eng.Totals().Sub(w0).Processed) / time.Since(ws).Seconds()
+		if rate >= 0.9*pre {
+			rec.RecoveryMs = float64(time.Since(crashAt)) / float64(time.Millisecond)
+			break
+		}
+	}
+
+	// Drain the corpus: with a finite limit, the readers stop once every
+	// line is acked, so outstanding hitting zero means at-least-once held.
+	drainDeadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(drainDeadline) {
+		if audit.OutstandingLines() == 0 && audit.AckedLines() == lines {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	rec.LostRoots = lines - audit.AckedLines()
+
+	t := eng.Totals()
+	rec.Replays = t.Replayed
+	rec.FailedRoots = t.FailedRoots
+	rec.WorkerCrashes = t.WorkerCrashes
+	rec.WorkerRestarts = t.WorkerRestarts
+	return rec, nil
 }

@@ -1,38 +1,51 @@
-// Fault tolerance example: Storm's recovery behaviours from §II, live —
-// a crashed worker is restarted by its supervisor, and a failed node is
-// detected by Nimbus's heartbeat monitor, its executors rescued onto live
-// nodes. The trace recorder shows the whole story.
+// Fault tolerance example: Storm's recovery behaviours from §II — a
+// crashed worker is restarted by its supervisor, and a failed node is
+// detected, its executors rescued onto live nodes. The trace recorder
+// shows the whole story.
 //
-//	go run ./examples/faulttolerance
+// The default mode runs the deterministic simulation. With -live the same
+// story plays out on the wall-clock engine under at-least-once delivery:
+// real goroutines are killed mid-stream, the supervisor restarts them,
+// Algorithm 1 reschedules around a failed node, and the reliable reader's
+// ledger proves no corpus line was lost.
+//
+//	go run ./examples/faulttolerance [-live]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
 
-	"tstorm/internal/cluster"
-	"tstorm/internal/core"
+	"tstorm"
 	"tstorm/internal/docstore"
-	"tstorm/internal/engine"
-	"tstorm/internal/loaddb"
-	"tstorm/internal/monitor"
 	"tstorm/internal/redisq"
-	"tstorm/internal/scheduler"
-	"tstorm/internal/topology"
 	"tstorm/internal/trace"
 	"tstorm/internal/workloads"
 )
 
 func main() {
-	cl, err := cluster.Uniform(5, 4, 2000, 4)
+	liveMode := flag.Bool("live", false, "run on the wall-clock engine with at-least-once delivery")
+	flag.Parse()
+	if *liveMode {
+		runLive()
+		return
+	}
+	runSim()
+}
+
+// runSim is the simulated story: crash a worker, fail a node, recover it,
+// all on the discrete-event runtime wired through the unified Wire call.
+func runSim() {
+	cl, err := tstorm.NewCluster(5, 4, 2000, 4)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := engine.TStormConfig()
-	rec := trace.NewRecorder(10000)
+	cfg := tstorm.TStormConfig()
+	rec := tstorm.NewTraceRecorder(10000)
 	cfg.Trace = rec
-	rt, err := engine.NewRuntime(cfg, cl)
+	rt, err := tstorm.NewRuntime(cfg, cl)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,21 +58,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	initial, err := scheduler.TStormInitial{}.Schedule(&scheduler.Input{
-		Topologies: []*topology.Topology{app.Topology}, Cluster: cl,
-	})
+	initial, err := tstorm.InitialSchedule(app.Topology, cl)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if err := rt.Submit(app, initial); err != nil {
 		log.Fatal(err)
 	}
-	db := loaddb.New(0.5)
-	monitor.Start(rt, db, monitor.DefaultPeriod)
-	if _, err := core.StartGenerator(rt, db, core.DefaultGeneratorConfig(), core.NewTrafficAware(1.5)); err != nil {
+	stack, err := tstorm.Wire(rt, tstorm.WithGamma(1.5))
+	if err != nil {
 		log.Fatal(err)
 	}
-	core.StartCustomScheduler(rt, core.DefaultFetchPeriod)
+	defer stack.Stop() //nolint:errcheck // idempotent, never fails
 	stop := workloads.StartCorpusFeeder(rt.Sim(), queue, wcfg.QueueKey, 120)
 	defer stop()
 
@@ -68,7 +78,7 @@ func main() {
 		log.Fatal(err)
 	}
 	// Phase 2: a worker JVM crashes; the supervisor restarts it.
-	victim := cluster.SlotID{Node: "node02", Port: cluster.BasePort}
+	victim := tstorm.SlotID{Node: "node02", Port: tstorm.BasePort}
 	fmt.Printf("t=%4.0fs  crashing worker on %s\n", rt.Sim().Now().Seconds(), victim)
 	rt.CrashWorker(victim)
 	if err := rt.RunFor(120 * time.Second); err != nil {
@@ -100,5 +110,117 @@ func main() {
 	fmt.Printf("  failed: %d, dropped messages: %d\n", tm.Failed, tm.Dropped)
 	fmt.Printf("  worker crashes injected/observed: %d\n", tm.WorkerCrashes)
 	fmt.Printf("  rescue re-assignments by Nimbus: %d\n", tm.RescueReassignments)
+	fmt.Printf("  words persisted despite the failures: %d distinct\n", len(sink.Counters("words")))
+}
+
+// runLive is the wall-clock story: the reliable (at-least-once) self-fed
+// Word Count survives a worker crash and a node failure with zero lost
+// lines — failed roots are replayed by the readers, the supervisor
+// restarts the dead executors, and a forced Algorithm 1 pass reschedules
+// around the downed node.
+func runLive() {
+	const linesPerReader = 20000
+	cl, err := tstorm.NewCluster(4, 4, 2000, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sink := docstore.NewStore()
+	wcfg := workloads.DefaultSelfFedWordCountConfig()
+	wcfg.Sink = sink
+	wcfg.Limit = linesPerReader
+	app, audit, err := workloads.NewReliableSelfFedWordCount(wcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lines := wcfg.Spouts * linesPerReader
+
+	initial, err := tstorm.InitialSchedule(app.Topology, cl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lcfg := tstorm.DefaultLiveConfig()
+	rec := tstorm.NewTraceRecorder(4096)
+	lcfg.Trace = rec
+	eng, err := tstorm.NewLiveEngine(lcfg, cl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.Submit(app, initial); err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Stop()
+
+	// Monitors, Algorithm 1, and the supervisor in one call. The ack
+	// timeout is short so roots stranded in crashed workers fail (and
+	// replay) quickly; the hour-long period keeps scheduling manual.
+	stack, err := tstorm.Wire(eng,
+		tstorm.WithMonitorPeriod(100*time.Millisecond),
+		tstorm.WithGeneratePeriod(time.Hour),
+		tstorm.WithAckTimeout(time.Second))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stack.Stop() //nolint:errcheck // idempotent, never fails
+
+	fmt.Printf("live fault tolerance: %d corpus lines, at-least-once, 4 emulated nodes\n", lines)
+	time.Sleep(500 * time.Millisecond) // steady state
+
+	// Phase 1: crash one worker; its executors die mid-tuple.
+	var victim tstorm.SlotID
+	for _, p := range eng.Placement() {
+		if p.Executor.Component == "split" {
+			victim = p.Slot
+			break
+		}
+	}
+	fmt.Printf("  crashing worker %s (kills %d executors)\n", victim, eng.CrashWorker(victim))
+	time.Sleep(time.Second)
+
+	// Phase 2: a whole node fails; the monitor stops reporting it, and a
+	// forced scheduling pass moves its executors to surviving nodes.
+	for !stack.DB.HasData() {
+		time.Sleep(20 * time.Millisecond)
+	}
+	fmt.Println("  failing node02")
+	eng.FailNode("node02")
+	if !stack.LiveGenerator.Reschedule() {
+		log.Fatal("reschedule around the failed node applied nothing")
+	}
+	onDown := 0
+	for _, p := range eng.Placement() {
+		if p.Slot.Node == "node02" {
+			onDown++
+		}
+	}
+	fmt.Printf("  rescheduled: %d executors remain on node02\n", onDown)
+	time.Sleep(time.Second)
+	eng.RecoverNode("node02")
+
+	// Drain: the readers stop once every line is acked at least once.
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		if audit.OutstandingLines() == 0 && audit.AckedLines() == lines {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	fmt.Println("\ntimeline (from the trace recorder):")
+	for _, ev := range rec.Events() {
+		switch ev.Kind {
+		case trace.WorkerCrashed, trace.WorkerRestarted,
+			trace.NodeFailed, trace.NodeRecovered:
+			fmt.Println("  " + ev.String())
+		}
+	}
+	t := eng.Totals()
+	fmt.Println("\noutcome:")
+	fmt.Printf("  lines acked: %d of %d (lost %d)\n", audit.AckedLines(), lines, lines-audit.AckedLines())
+	fmt.Printf("  roots failed by timeout: %d, replayed: %d\n", t.FailedRoots, t.Replayed)
+	fmt.Printf("  worker crashes: %d, supervised restarts: %d (reader re-opens: %d)\n",
+		t.WorkerCrashes, t.WorkerRestarts, audit.Restarts())
 	fmt.Printf("  words persisted despite the failures: %d distinct\n", len(sink.Counters("words")))
 }

@@ -11,24 +11,19 @@ import (
 	"log"
 	"time"
 
-	"tstorm/internal/cluster"
-	"tstorm/internal/core"
+	"tstorm"
 	"tstorm/internal/docstore"
-	"tstorm/internal/engine"
-	"tstorm/internal/loaddb"
-	"tstorm/internal/monitor"
 	"tstorm/internal/redisq"
 	"tstorm/internal/scheduler"
-	"tstorm/internal/topology"
 	"tstorm/internal/workloads"
 )
 
 func main() {
-	cl, err := cluster.Uniform(10, 4, 2000, 4)
+	cl, err := tstorm.NewCluster(10, 4, 2000, 4)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rt, err := engine.NewRuntime(engine.TStormConfig(), cl)
+	rt, err := tstorm.NewRuntime(tstorm.TStormConfig(), cl)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,9 +36,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	initial, err := scheduler.TStormInitial{}.Schedule(&scheduler.Input{
-		Topologies: []*topology.Topology{app.Topology}, Cluster: cl,
-	})
+	initial, err := tstorm.InitialSchedule(app.Topology, cl)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,15 +44,14 @@ func main() {
 		log.Fatal(err)
 	}
 
-	db := loaddb.New(0.5)
-	monitor.Start(rt, db, monitor.DefaultPeriod)
-	gcfg := core.DefaultGeneratorConfig()
-	gcfg.GenerationPeriod = 120 * time.Second // faster cadence for the demo
-	gen, err := core.StartGenerator(rt, db, gcfg, core.NewTrafficAware(1))
+	stack, err := tstorm.Wire(rt,
+		tstorm.WithGamma(1),
+		tstorm.WithGeneratePeriod(120*time.Second)) // faster cadence for the demo
 	if err != nil {
 		log.Fatal(err)
 	}
-	core.StartCustomScheduler(rt, core.DefaultFetchPeriod)
+	defer stack.Stop() //nolint:errcheck // idempotent, never fails
+	gen := stack.Generator
 	// Make the DEBS'13 online scheduler available for swapping.
 	gen.Registry().Register(scheduler.AnielloOnline{})
 

@@ -1,12 +1,14 @@
 // Live runtime example: the Word Count topology on real goroutines,
 // scheduled by the unchanged T-Storm stack. The self-fed Word Count runs
 // on the wall-clock engine with a deliberately spread-out initial
-// placement; a live monitor measures actual CPU time and tuple rates, and
-// one forced T-Storm reschedule co-locates the chatty executors. The
-// program prints measured throughput before and after the reschedule —
-// real tuples per second, not simulated ones — and serves the telemetry
-// endpoints (/metrics, /debug/placement, /debug/trace) while it runs,
-// printing the reschedule's trace timeline and a sample scrape at the end.
+// placement; one tstorm.Wire call starts the live monitor (measuring
+// actual CPU time and tuple rates), the schedule generator, and the
+// supervisor, and one forced T-Storm reschedule co-locates the chatty
+// executors. The program prints measured throughput before and after the
+// reschedule — real tuples per second, not simulated ones — and serves the
+// telemetry endpoints (/metrics, /debug/placement, /debug/trace) while it
+// runs, printing the reschedule's trace timeline and a sample scrape at
+// the end.
 //
 //	go run ./examples/live [-telemetry 127.0.0.1:0]
 package main
@@ -21,15 +23,8 @@ import (
 	"strings"
 	"time"
 
-	"tstorm/internal/cluster"
-	"tstorm/internal/core"
+	"tstorm"
 	"tstorm/internal/docstore"
-	"tstorm/internal/live"
-	"tstorm/internal/loaddb"
-	"tstorm/internal/scheduler"
-	"tstorm/internal/telemetry"
-	"tstorm/internal/topology"
-	"tstorm/internal/trace"
 	"tstorm/internal/workloads"
 )
 
@@ -47,7 +42,7 @@ func fetch(addr, path string) (string, error) {
 func main() {
 	telemetryAddr := flag.String("telemetry", "127.0.0.1:0", "address for the telemetry endpoints")
 	flag.Parse()
-	cl, err := cluster.Uniform(4, 4, 2000, 4)
+	cl, err := tstorm.NewCluster(4, 4, 2000, 4)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,15 +56,14 @@ func main() {
 
 	// Storm's round-robin spreads the executors across all nodes — the
 	// traffic-oblivious starting point.
-	initial, err := scheduler.RoundRobin{}.Schedule(
-		scheduler.NewInput([]*topology.Topology{app.Topology}, cl, nil, 0))
+	initial, err := tstorm.DefaultSchedule(app.Topology, cl)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	lcfg := live.DefaultConfig()
-	lcfg.Trace = trace.NewRecorder(512)
-	eng, err := live.NewEngine(lcfg, cl)
+	lcfg := tstorm.DefaultLiveConfig()
+	lcfg.Trace = tstorm.NewTraceRecorder(512)
+	eng, err := tstorm.NewLiveEngine(lcfg, cl)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -81,25 +75,19 @@ func main() {
 	}
 	defer eng.Stop()
 
-	// The T-Storm stack: wall-clock monitor → EWMA load DB → Algorithm 1.
-	db := loaddb.New(0.5)
-	mon := live.StartMonitor(eng, db, 250*time.Millisecond)
-	defer mon.Stop()
-	gen, err := live.StartGenerator(eng, db, live.GeneratorConfig{
-		Period:               time.Hour, // rescheduled manually below
-		CapacityFraction:     0.9,
-		ImprovementThreshold: 0.10,
-	}, core.NewTrafficAware(1.5))
+	// The T-Storm stack — wall-clock monitor → EWMA load DB → Algorithm 1
+	// — in one Wire call; the hour-long generate period means the one
+	// scheduling pass below is forced manually.
+	stack, err := tstorm.Wire(eng,
+		tstorm.WithMonitorPeriod(250*time.Millisecond),
+		tstorm.WithGeneratePeriod(time.Hour))
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer gen.Stop()
+	defer stack.Stop() //nolint:errcheck // idempotent, never fails
 
-	srv, err := telemetry.NewServer(telemetry.Config{Engine: eng, Monitor: mon, Trace: lcfg.Trace})
+	srv, err := stack.StartTelemetry(*telemetryAddr)
 	if err != nil {
-		log.Fatal(err)
-	}
-	if err := srv.Start(*telemetryAddr); err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
@@ -107,7 +95,7 @@ func main() {
 	fmt.Println("live Word Count on 4 emulated nodes, real goroutine executors")
 	fmt.Printf("  telemetry: http://%s/metrics  /debug/placement  /debug/trace\n", srv.Addr())
 
-	measure := func(label string) live.Totals {
+	measure := func(label string) tstorm.LiveTotals {
 		time.Sleep(time.Second) // settle
 		t0 := eng.Totals()
 		start := time.Now()
@@ -123,10 +111,10 @@ func main() {
 
 	// Let the monitor accumulate a few windows, then force one T-Storm
 	// scheduling pass (production would wait for the 300 s period).
-	for mon.Samples() < 4 {
+	for stack.Monitor.Samples() < 4 {
 		time.Sleep(50 * time.Millisecond)
 	}
-	if !gen.Reschedule() {
+	if !stack.LiveGenerator.Reschedule() {
 		log.Fatal("reschedule applied nothing")
 	}
 	moved := eng.Totals().Migrations

@@ -11,13 +11,11 @@ import (
 	"log"
 	"sort"
 	"time"
+	"tstorm"
 
 	"tstorm/internal/cluster"
-	"tstorm/internal/core"
 	"tstorm/internal/docstore"
 	"tstorm/internal/engine"
-	"tstorm/internal/loaddb"
-	"tstorm/internal/monitor"
 	"tstorm/internal/redisq"
 	"tstorm/internal/scheduler"
 	"tstorm/internal/sim"
@@ -54,12 +52,11 @@ func main() {
 		log.Fatal(err)
 	}
 
-	db := loaddb.New(0.5)
-	monitor.Start(rt, db, monitor.DefaultPeriod)
-	if _, err := core.StartGenerator(rt, db, core.DefaultGeneratorConfig(), core.NewTrafficAware(1.7)); err != nil {
+	stack, err := tstorm.Wire(rt, tstorm.WithGamma(1.7))
+	if err != nil {
 		log.Fatal(err)
 	}
-	core.StartCustomScheduler(rt, core.DefaultFetchPeriod)
+	defer stack.Stop() //nolint:errcheck // idempotent, never fails
 
 	stop := workloads.StartLogFeeder(rt.Sim(), queue, lcfg.QueueKey, 42, 200)
 	defer stop()

@@ -12,13 +12,11 @@ import (
 	"log"
 	"math"
 	"time"
+	"tstorm"
 
 	"tstorm/internal/cluster"
-	"tstorm/internal/core"
 	"tstorm/internal/docstore"
 	"tstorm/internal/engine"
-	"tstorm/internal/loaddb"
-	"tstorm/internal/monitor"
 	"tstorm/internal/redisq"
 	"tstorm/internal/workloads"
 )
@@ -52,13 +50,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	db := loaddb.New(0.5)
-	monitor.Start(rt, db, monitor.DefaultPeriod)
-	gen, err := core.StartGenerator(rt, db, core.DefaultGeneratorConfig(), core.NewTrafficAware(2))
+	stack, err := tstorm.Wire(rt, tstorm.WithGamma(2))
 	if err != nil {
 		log.Fatal(err)
 	}
-	core.StartCustomScheduler(rt, core.DefaultFetchPeriod)
+	defer stack.Stop() //nolint:errcheck // idempotent, never fails
+	gen := stack.Generator
 
 	// Two concurrent word streams — double the normal load.
 	stop := workloads.StartCorpusFeeder(rt.Sim(), queue, wcfg.QueueKey, 240)

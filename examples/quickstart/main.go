@@ -1,7 +1,7 @@
 // Quickstart: build a tiny topology, run it on a simulated 3-node cluster
-// with the full T-Storm stack (load monitors → load DB → schedule
-// generator running Algorithm 1 → custom scheduler), and print what
-// happened.
+// with the full T-Storm stack — one tstorm.Wire call assembles the load
+// monitors, the EWMA load DB, the schedule generator running Algorithm 1,
+// and the custom scheduler — and print what happened.
 //
 //	go run ./examples/quickstart
 package main
@@ -11,23 +11,16 @@ import (
 	"log"
 	"time"
 
-	"tstorm/internal/cluster"
-	"tstorm/internal/core"
-	"tstorm/internal/engine"
-	"tstorm/internal/loaddb"
-	"tstorm/internal/monitor"
-	"tstorm/internal/scheduler"
-	"tstorm/internal/topology"
-	"tstorm/internal/tuple"
+	"tstorm"
 )
 
 // numberSpout emits sequential integers, one per emit cycle.
 type numberSpout struct{ next int }
 
-func (s *numberSpout) Open(*engine.Context) {}
+func (s *numberSpout) Open(*tstorm.Context) {}
 
-func (s *numberSpout) NextTuple(em engine.SpoutEmitter) {
-	em.EmitWithID("", tuple.Values{s.next}, s.next)
+func (s *numberSpout) NextTuple(em tstorm.SpoutEmitter) {
+	em.EmitWithID("", tstorm.Values{s.next}, s.next)
 	s.next++
 }
 
@@ -37,20 +30,20 @@ func (s *numberSpout) Fail(any) {}
 // doublerBolt multiplies by two and forwards.
 type doublerBolt struct{}
 
-func (doublerBolt) Prepare(*engine.Context) {}
+func (doublerBolt) Prepare(*tstorm.Context) {}
 
-func (doublerBolt) Execute(in tuple.Tuple, em engine.Emitter) {
+func (doublerBolt) Execute(in tstorm.Tuple, em tstorm.Emitter) {
 	if n, ok := in.Values[0].(int); ok {
-		em.Emit("", tuple.Values{2 * n})
+		em.Emit("", tstorm.Values{2 * n})
 	}
 }
 
 // sumBolt accumulates everything it sees.
 type sumBolt struct{ total *int64 }
 
-func (sumBolt) Prepare(*engine.Context) {}
+func (sumBolt) Prepare(*tstorm.Context) {}
 
-func (b sumBolt) Execute(in tuple.Tuple, em engine.Emitter) {
+func (b sumBolt) Execute(in tstorm.Tuple, em tstorm.Emitter) {
 	if n, ok := in.Values[0].(int); ok {
 		*b.total += int64(n)
 	}
@@ -58,7 +51,7 @@ func (b sumBolt) Execute(in tuple.Tuple, em engine.Emitter) {
 
 func main() {
 	// 1. Describe the topology: spout → doubler → sum, with 1 acker.
-	b := topology.NewBuilder("quickstart", 3)
+	b := tstorm.NewTopology("quickstart", 3)
 	b.SetAckers(1)
 	b.Spout("numbers", 1).Output("default", "n")
 	b.Bolt("double", 2).Shuffle("numbers").Output("default", "n")
@@ -70,36 +63,34 @@ func main() {
 
 	// 2. Bind component code and per-tuple CPU costs.
 	var total int64
-	app := &engine.App{
+	app := &tstorm.App{
 		Topology: top,
-		Spouts: map[string]func() engine.Spout{
-			"numbers": func() engine.Spout { return &numberSpout{} },
+		Spouts: map[string]func() tstorm.Spout{
+			"numbers": func() tstorm.Spout { return &numberSpout{} },
 		},
-		Bolts: map[string]func() engine.Bolt{
-			"double": func() engine.Bolt { return doublerBolt{} },
-			"sum":    func() engine.Bolt { return sumBolt{total: &total} },
+		Bolts: map[string]func() tstorm.Bolt{
+			"double": func() tstorm.Bolt { return doublerBolt{} },
+			"sum":    func() tstorm.Bolt { return sumBolt{total: &total} },
 		},
-		Costs: map[string]engine.CostFn{
-			"double": engine.ConstCost(engine.Cycles(100*time.Microsecond, 2000)),
-			"sum":    engine.ConstCost(engine.Cycles(50*time.Microsecond, 2000)),
+		Costs: map[string]tstorm.CostFn{
+			"double": tstorm.ConstCost(tstorm.Cycles(100*time.Microsecond, 2000)),
+			"sum":    tstorm.ConstCost(tstorm.Cycles(50*time.Microsecond, 2000)),
 		},
 		SpoutInterval: map[string]time.Duration{"numbers": 10 * time.Millisecond},
 	}
 
 	// 3. Build a 3-node simulated cluster and a T-Storm runtime.
-	cl, err := cluster.Uniform(3, 4, 2000, 4)
+	cl, err := tstorm.NewCluster(3, 4, 2000, 4)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rt, err := engine.NewRuntime(engine.TStormConfig(), cl)
+	rt, err := tstorm.NewRuntime(tstorm.TStormConfig(), cl)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// 4. Submit with T-Storm's modified initial scheduler.
-	initial, err := scheduler.TStormInitial{}.Schedule(&scheduler.Input{
-		Topologies: []*topology.Topology{top}, Cluster: cl,
-	})
+	initial, err := tstorm.InitialSchedule(top, cl)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -107,15 +98,14 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 5. Start the T-Storm architecture: monitors → DB → generator →
-	//    custom scheduler.
-	db := loaddb.New(0.5)
-	monitor.Start(rt, db, monitor.DefaultPeriod)
-	gen, err := core.StartGenerator(rt, db, core.DefaultGeneratorConfig(), core.NewTrafficAware(2))
+	// 5. Wire the T-Storm architecture over the runtime: monitors → DB →
+	//    generator (Algorithm 1, γ=2) → custom scheduler. The same call
+	//    works unchanged on the live wall-clock engine.
+	stack, err := tstorm.Wire(rt, tstorm.WithGamma(2))
 	if err != nil {
 		log.Fatal(err)
 	}
-	core.StartCustomScheduler(rt, core.DefaultFetchPeriod)
+	defer stack.Stop() //nolint:errcheck // idempotent, never fails
 
 	// 6. Run 10 simulated minutes.
 	if err := rt.RunFor(10 * time.Minute); err != nil {
@@ -128,5 +118,6 @@ func main() {
 	fmt.Printf("  sum of doubled numbers: %d\n", total)
 	fmt.Printf("  avg processing time:    %.3f ms\n", tm.Latency.MeanAfter(0))
 	fmt.Printf("  worker nodes in use:    %.0f of %d\n", tm.NodesInUse.Last(), cl.NumNodes())
-	fmt.Printf("  schedules generated:    %d (published %d)\n", gen.Generations(), gen.Published())
+	fmt.Printf("  schedules generated:    %d (published %d)\n",
+		stack.Generator.Generations(), stack.Generator.Published())
 }

@@ -11,13 +11,11 @@ import (
 	"log"
 	"sort"
 	"time"
+	"tstorm"
 
 	"tstorm/internal/cluster"
-	"tstorm/internal/core"
 	"tstorm/internal/docstore"
 	"tstorm/internal/engine"
-	"tstorm/internal/loaddb"
-	"tstorm/internal/monitor"
 	"tstorm/internal/redisq"
 	"tstorm/internal/scheduler"
 	"tstorm/internal/sim"
@@ -62,12 +60,11 @@ func run(useTStorm bool) (meanMS float64, nodes int, sink *docstore.Store, err e
 		return 0, 0, nil, err
 	}
 	if useTStorm {
-		db := loaddb.New(0.5)
-		monitor.Start(rt, db, monitor.DefaultPeriod)
-		if _, err := core.StartGenerator(rt, db, core.DefaultGeneratorConfig(), core.NewTrafficAware(1.8)); err != nil {
+		stack, err := tstorm.Wire(rt, tstorm.WithGamma(1.8))
+		if err != nil {
 			return 0, 0, nil, err
 		}
-		core.StartCustomScheduler(rt, core.DefaultFetchPeriod)
+		defer stack.Stop() //nolint:errcheck // idempotent, never fails
 	}
 
 	stop := workloads.StartCorpusFeeder(rt.Sim(), queue, wcfg.QueueKey, 120)

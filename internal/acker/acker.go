@@ -72,8 +72,10 @@ func NewTracker() *Tracker {
 // Init registers a new root emitted by the given spout executor at emitAt.
 // initXor is the XOR of the edge IDs the spout delivered the root tuple
 // with (one per receiving task). Init may arrive after the first Ack for
-// the same root; state is merged either way.
-func (t *Tracker) Init(root tuple.ID, initXor tuple.ID, spoutExec int, emitAt sim.Time) {
+// the same root; state is merged either way — and if every ack already
+// arrived (the checksum is zero once merged), Init itself completes the
+// tree, exactly as a late-arriving ack would.
+func (t *Tracker) Init(root tuple.ID, initXor tuple.ID, spoutExec int, emitAt sim.Time) (Completion, bool) {
 	s := t.pending[root]
 	if s == nil {
 		s = &rootState{}
@@ -85,6 +87,25 @@ func (t *Tracker) Init(root tuple.ID, initXor tuple.ID, spoutExec int, emitAt si
 	s.lastTouch = emitAt
 	s.inited = true
 	t.stats.Inits++
+	if s.xor != 0 {
+		return Completion{}, false
+	}
+	return t.complete(root, s, emitAt), true
+}
+
+// complete removes a finished root and builds its Completion record.
+func (t *Tracker) complete(root tuple.ID, s *rootState, now sim.Time) Completion {
+	delete(t.pending, root)
+	t.stats.Completions++
+	if s.failed {
+		t.stats.LateCompletions++
+	}
+	return Completion{
+		Root:      root,
+		SpoutExec: s.spoutExec,
+		Latency:   now.Sub(s.emitAt),
+		Late:      s.failed,
+	}
 }
 
 // Ack folds an XOR update into the root's checksum: an executor that
@@ -106,18 +127,7 @@ func (t *Tracker) Ack(root tuple.ID, xorVal tuple.ID, now sim.Time) (Completion,
 	if !s.inited || s.xor != 0 {
 		return Completion{}, false
 	}
-	delete(t.pending, root)
-	t.stats.Completions++
-	c := Completion{
-		Root:      root,
-		SpoutExec: s.spoutExec,
-		Latency:   now.Sub(s.emitAt),
-		Late:      s.failed,
-	}
-	if s.failed {
-		t.stats.LateCompletions++
-	}
-	return c, true
+	return t.complete(root, s, now), true
 }
 
 // Timeout marks the root failed if it is still pending and not yet failed.
@@ -133,6 +143,25 @@ func (t *Tracker) Timeout(root tuple.ID) (Expiry, bool) {
 	s.failed = true
 	t.stats.Failures++
 	return Expiry{Root: root, SpoutExec: s.spoutExec}, true
+}
+
+// ExpireBefore marks failed every inited, not-yet-failed root that was
+// emitted before cutoff, returning their expiries. It is the bulk form of
+// Timeout for callers that track time coarsely instead of arming one timer
+// per root — the live runtime's acker executors run it on a slow tick so
+// roots whose acks stopped arriving (dropped on a crashed worker) become
+// sweepable zombies instead of leaking.
+func (t *Tracker) ExpireBefore(cutoff sim.Time) []Expiry {
+	var out []Expiry
+	for root, s := range t.pending {
+		if s.failed || !s.inited || s.emitAt >= cutoff {
+			continue
+		}
+		s.failed = true
+		t.stats.Failures++
+		out = append(out, Expiry{Root: root, SpoutExec: s.spoutExec})
+	}
+	return out
 }
 
 // Evict removes a root unconditionally (used to bound zombie retention).

@@ -79,16 +79,41 @@ func TestAckBeforeInitMerges(t *testing.T) {
 	if _, done := tr.Ack(root, root, at(1)); done {
 		t.Fatal("completed without init")
 	}
-	tr.Init(root, root, 3, at(0))
-	// Checksum is now root^root = 0 and init seen — but completion is only
-	// detected on the next Ack touching the root. Send a no-op pair.
-	e := tuple.ID(0x9)
-	if _, done := tr.Ack(root, e, at(2)); done {
-		t.Fatal("incomplete checksum reported done")
+	// Init merges to a zero checksum and completes the tree itself, exactly
+	// as a late-arriving ack would.
+	c, done := tr.Init(root, root, 3, at(0))
+	if !done || c.SpoutExec != 3 || c.Root != root {
+		t.Fatalf("completion on init-merge = %+v done=%v", c, done)
 	}
-	c, done := tr.Ack(root, e, at(3))
-	if !done || c.SpoutExec != 3 {
-		t.Fatalf("completion after merge = %+v done=%v", c, done)
+	if tr.Pending() != 0 {
+		t.Fatalf("pending = %d after init-completes", tr.Pending())
+	}
+}
+
+func TestExpireBefore(t *testing.T) {
+	tr := NewTracker()
+	tr.Init(0x1, 0x1, 4, at(0))  // old, should expire
+	tr.Init(0x2, 0x2, 5, at(10)) // fresh, should survive
+	tr.Ack(0x3, 0x3, at(0))      // orphan (no init), never expires
+	tr.Init(0x4, 0x4, 6, at(1))
+	if _, ok := tr.Timeout(0x4); !ok { // already failed, not expired twice
+		t.Fatal("timeout of 0x4 did not fire")
+	}
+	exp := tr.ExpireBefore(at(5))
+	if len(exp) != 1 || exp[0].Root != 0x1 || exp[0].SpoutExec != 4 {
+		t.Fatalf("ExpireBefore = %+v", exp)
+	}
+	// Expired roots are zombies: retained for late completion, sweepable.
+	c, done := tr.Ack(0x1, 0x1, at(40))
+	if !done || !c.Late {
+		t.Fatalf("late completion of expired root = %+v done=%v", c, done)
+	}
+	// The fresh root is untouched and still completes normally.
+	if c, done := tr.Ack(0x2, 0x2, at(12)); !done || c.Late {
+		t.Fatalf("fresh root completion = %+v done=%v", c, done)
+	}
+	if got := tr.ExpireBefore(at(100)); len(got) != 0 {
+		t.Fatalf("second ExpireBefore re-expired: %+v", got)
 	}
 }
 

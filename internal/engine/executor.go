@@ -323,8 +323,21 @@ func (ex *executor) executeData(j job) (float64, func()) {
 
 func (ex *executor) executeInit(j job) (float64, func()) {
 	ex.processed++
-	ex.tracker.Init(j.root, j.xor, j.spoutID, j.emitAt)
-	return ex.rt().cfg.AckerCost + j.deserCost, nil
+	rt := ex.rt()
+	c, done := ex.tracker.Init(j.root, j.xor, j.spoutID, j.emitAt)
+	cycles := rt.cfg.AckerCost + j.deserCost
+	if !done {
+		return cycles, nil
+	}
+	// Every ack raced ahead of the init: the tree completed the moment the
+	// init merged. Notify the spout as a regular completion.
+	spout := rt.denseRev[c.SpoutExec]
+	return cycles, func() {
+		rt.send(ex, j.gen, message{
+			kind: msgComplete, gen: j.gen, target: spout,
+			root: c.Root, size: rt.cfg.ControlMsgSize,
+		})
+	}
 }
 
 func (ex *executor) executeAck(j job) (float64, func()) {

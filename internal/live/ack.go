@@ -1,0 +1,344 @@
+package live
+
+import (
+	"fmt"
+	"reflect"
+	"time"
+
+	"tstorm/internal/acker"
+	"tstorm/internal/topology"
+	"tstorm/internal/trace"
+	"tstorm/internal/tuple"
+)
+
+// This file ports the simulation's at-least-once machinery to wall clock:
+// anchored spout emissions register with the topology's acker executors
+// (reusing internal/acker's XOR Tracker), bolts ack every anchored input,
+// completions flow back to the originating spout, and a per-spout timeout
+// wheel fails roots whose acks stop arriving so reliable spouts replay.
+//
+// Threading: acker executors never block — completion notifications are
+// appended to the spout's mutex-guarded event slice and drained on the
+// spout's own goroutine — so the cycle "spout blocked on a full bolt
+// queue → bolt blocked sending an ack → acker blocked notifying the
+// spout" cannot close into a deadlock.
+
+type ctlKind uint8
+
+const (
+	ctlInit ctlKind = iota + 1
+	ctlAck
+)
+
+// ctlMsg is one control-plane message to an acker executor: a spout's
+// root registration (init) or a bolt's XOR ack.
+type ctlMsg struct {
+	kind       ctlKind
+	root       tuple.ID
+	xor        tuple.ID
+	spoutDense int       // init only: the originating spout
+	emitAt     time.Time // init only: the root's (first-)emit instant
+}
+
+// ackEvent is a completion notification travelling acker → spout. Failures
+// carry no event: the spout's own timeout wheel is the failure authority,
+// so acker crashes cannot lose timeouts.
+type ackEvent struct {
+	root tuple.ID
+	late bool
+}
+
+// livePendingRoot is a spout's record of one outstanding anchored root.
+// emitAt is the msgID's FIRST emit instant — replays inherit it, so the
+// completion latency of a root that timed out and replayed spans the whole
+// ordeal, matching the simulation's metric.
+type livePendingRoot struct {
+	msgID  any
+	emitAt time.Time
+	failed bool
+}
+
+// liveRootEmit is one anchored spout emission buffered during NextTuple,
+// registered and init-sent after the cycle's data deliveries flush.
+type liveRootEmit struct {
+	root    tuple.ID
+	initXor tuple.ID
+	msgID   any
+}
+
+// liveZombieRetention bounds how long failed pending entries are kept for
+// late-completion measurement before being swept.
+const liveZombieRetention = 5 * time.Minute
+
+// ackerFor returns the acker executor responsible for a root (nil when the
+// topology has none).
+func (le *liveExec) ackerFor(rt *routeTable, root tuple.ID) *liveExec {
+	tasks := rt.byComp[compKey{topo: le.id.Topology, comp: topology.AckerComponent}]
+	if len(tasks) == 0 {
+		return nil
+	}
+	return tasks[int(uint64(root)%uint64(len(tasks)))]
+}
+
+// sendCtl enqueues a control batch at an acker, blocking on a full queue
+// with stop/die escapes. Control messages are counted as real traffic —
+// acker placement generates network load exactly as in Storm — but, being
+// tiny, pay no serialization or wire cost. Batches to dead ackers are
+// dropped; the spout wheel recovers the affected roots.
+func (eng *Engine) sendCtl(from *liveExec, to *liveExec, msgs []ctlMsg, die <-chan struct{}) bool {
+	if to == nil || len(msgs) == 0 {
+		return true
+	}
+	n := int64(len(msgs))
+	if to.dead.Load() {
+		eng.dropped.Add(n)
+		return true
+	}
+	select {
+	case to.ctl <- msgs:
+	case <-eng.stopCh:
+		return false
+	case <-die:
+		return false
+	}
+	rt := eng.routes.Load()
+	srcSlot, dstSlot := rt.slotOf[from.dense], rt.slotOf[to.dense]
+	hop := hopLocal
+	switch {
+	case srcSlot == dstSlot:
+	case srcSlot.Node == dstSlot.Node:
+		hop = hopInterProc
+		eng.interProcSent.Add(n)
+	default:
+		hop = hopInterNode
+		eng.interNodeSent.Add(n)
+	}
+	eng.tuplesSent.Add(n)
+	if m := eng.edges.Load(); m != nil {
+		m.counts[from.dense*m.n+to.dense].byHop[hop].Add(n)
+	}
+	eng.traffic.Add(from.dense, to.dense, float64(n))
+	return true
+}
+
+// ctlAcc accumulates one executor's control messages per acker target
+// within one batch/cycle, so a batch costs one channel send per acker.
+type ctlAcc struct {
+	to   *liveExec
+	msgs []ctlMsg
+}
+
+func appendCtl(accs *[]ctlAcc, to *liveExec, m ctlMsg) {
+	for i := range *accs {
+		if (*accs)[i].to == to {
+			(*accs)[i].msgs = append((*accs)[i].msgs, m)
+			return
+		}
+	}
+	*accs = append(*accs, ctlAcc{to: to, msgs: []ctlMsg{m}})
+}
+
+// ---- acker executor ----
+
+// runAcker drives one acker executor incarnation: fold init/ack batches
+// into a fresh Tracker (tracker state dies with the incarnation, as a
+// Storm acker's does) and notify spouts of completions. A slow hygiene
+// tick expires roots whose acks stopped arriving — e.g. dropped on a
+// crashed worker — and sweeps zombies, bounding the tracker's memory; the
+// expiries themselves are discarded because the spout wheel is the
+// failure authority.
+func (le *liveExec) runAcker(die <-chan struct{}) {
+	eng := le.eng
+	tracker := acker.NewTracker()
+	timeout := eng.AckTimeout()
+	hygiene := timeout / 4
+	if hygiene < 5*time.Millisecond {
+		hygiene = 5 * time.Millisecond
+	}
+	tk := time.NewTicker(hygiene)
+	defer tk.Stop()
+	for {
+		select {
+		case <-eng.stopCh:
+			return
+		case <-die:
+			return
+		case batch := <-le.ctl:
+			t0 := time.Now()
+			now := eng.simNow(t0)
+			for _, m := range batch {
+				var (
+					c    acker.Completion
+					done bool
+				)
+				switch m.kind {
+				case ctlInit:
+					c, done = tracker.Init(m.root, m.xor, m.spoutDense, eng.simNow(m.emitAt))
+				case ctlAck:
+					c, done = tracker.Ack(m.root, m.xor, now)
+				}
+				if done {
+					le.notifyComplete(c)
+				}
+			}
+			le.processed.Add(int64(len(batch)))
+			le.cpuNanos.Add(int64(time.Since(t0)))
+		case <-tk.C:
+			t0 := time.Now()
+			now := eng.simNow(t0)
+			tracker.ExpireBefore(now.Add(-timeout))
+			tracker.Sweep(now, timeout+liveZombieRetention)
+			le.cpuNanos.Add(int64(time.Since(t0)))
+		}
+	}
+}
+
+// notifyComplete hands a finished root to its spout's event slice. The
+// append never blocks, so the acker always drains regardless of what the
+// spout is doing; a completion for a crashed spout's dense index lands in
+// the slice and is discarded by the next incarnation's drain.
+func (le *liveExec) notifyComplete(c acker.Completion) {
+	rt := le.eng.routes.Load()
+	if c.SpoutExec < 0 || c.SpoutExec >= len(rt.byDense) {
+		return
+	}
+	sp := rt.byDense[c.SpoutExec]
+	if sp.kind != spoutExec {
+		return
+	}
+	sp.ackMu.Lock()
+	sp.ackEvents = append(sp.ackEvents, ackEvent{root: c.Root, late: c.Late})
+	sp.ackMu.Unlock()
+}
+
+// ---- spout side ----
+
+// comparableMsgID reports whether msgID can key the first-emit map.
+func comparableMsgID(msgID any) bool {
+	return msgID != nil && reflect.TypeOf(msgID).Comparable()
+}
+
+// effMaxPending resolves a spout's pending cap: its App's per-spout value
+// wins, else the engine-level default. 0 = unlimited.
+func (le *liveExec) effMaxPending() int {
+	if mp, ok := le.app.MaxPending[le.id.Component]; ok && mp > 0 {
+		return mp
+	}
+	return le.eng.MaxPending()
+}
+
+// drainAckEvents applies queued completion notifications: cancel the
+// wheel, retire the pending entry, record completion latency from the
+// first emit, and call the user spout's Ack. Runs on the spout goroutine.
+func (le *liveExec) drainAckEvents() {
+	le.ackMu.Lock()
+	events := le.ackEvents
+	le.ackEvents = nil
+	le.ackMu.Unlock()
+	if len(events) == 0 {
+		return
+	}
+	eng := le.eng
+	t0 := time.Now()
+	for _, ev := range events {
+		p := le.pendingRoots[ev.root]
+		if p == nil {
+			continue // completed root of a previous incarnation
+		}
+		le.wheel.cancel(ev.root)
+		delete(le.pendingRoots, ev.root)
+		if !p.failed {
+			le.outstanding--
+			eng.pendingRoots.Add(-1)
+		}
+		eng.acked.Add(1)
+		if p.failed || ev.late {
+			eng.lateAcked.Add(1)
+		}
+		eng.rootLat.Add(t0.Sub(p.emitAt).Seconds() * 1e3)
+		if comparableMsgID(p.msgID) {
+			delete(le.firstEmit, p.msgID)
+		}
+		le.spout.Ack(p.msgID)
+	}
+	le.cpuNanos.Add(int64(time.Since(t0)))
+}
+
+// expireDueRoots advances the timeout wheel and fails every root whose
+// deadline passed: the entry stays as a zombie (a late completion is still
+// measured, as in the sim), outstanding drops so MaxPending frees a slot,
+// and the user spout's Fail triggers the replay.
+func (le *liveExec) expireDueRoots(now time.Time) {
+	due := le.wheel.expire(now)
+	if len(due) == 0 {
+		return
+	}
+	eng := le.eng
+	for _, root := range due {
+		p := le.pendingRoots[root]
+		if p == nil || p.failed {
+			continue
+		}
+		p.failed = true
+		le.outstanding--
+		eng.pendingRoots.Add(-1)
+		eng.failedRoots.Add(1)
+		le.spout.Fail(p.msgID)
+	}
+}
+
+// sweepSpoutZombies drops failed pending entries whose late completion
+// never arrived within the retention window.
+func (le *liveExec) sweepSpoutZombies(now time.Time) {
+	cutoff := le.eng.AckTimeout() + liveZombieRetention
+	for root, p := range le.pendingRoots {
+		if p.failed && now.Sub(p.emitAt) > cutoff {
+			delete(le.pendingRoots, root)
+		}
+	}
+}
+
+// flushAnchored registers the cycle's anchored roots and sends their init
+// messages, after the data deliveries were enqueued. Re-emits of an
+// already-pending msgID are replays: they inherit the first-emit time and
+// are counted (and traced) as such.
+func (le *liveExec) flushAnchored(em *spoutEmitter, die <-chan struct{}) bool {
+	if len(em.rootEmits) == 0 {
+		return true
+	}
+	eng := le.eng
+	rt := eng.routes.Load()
+	now := time.Now()
+	timeout := eng.AckTimeout()
+	var accs []ctlAcc
+	for _, re := range em.rootEmits {
+		emitAt := now
+		if comparableMsgID(re.msgID) {
+			if first, ok := le.firstEmit[re.msgID]; ok {
+				emitAt = first
+				eng.replayed.Add(1)
+				if eng.cfg.Trace != nil {
+					eng.emit(trace.TupleReplayed, le.id.Topology, "",
+						fmt.Sprintf("%s re-emitted msgID %v as root %x",
+							le.id, re.msgID, uint64(re.root)))
+				}
+			} else {
+				le.firstEmit[re.msgID] = now
+			}
+		}
+		le.pendingRoots[re.root] = &livePendingRoot{msgID: re.msgID, emitAt: emitAt}
+		le.outstanding++
+		eng.pendingRoots.Add(1)
+		le.wheel.add(re.root, timeout, now)
+		appendCtl(&accs, le.ackerFor(rt, re.root), ctlMsg{
+			kind: ctlInit, root: re.root, xor: re.initXor,
+			spoutDense: le.dense, emitAt: emitAt,
+		})
+	}
+	for i := range accs {
+		if !eng.sendCtl(le, accs[i].to, accs[i].msgs, die) {
+			return false
+		}
+	}
+	return true
+}

@@ -2,6 +2,7 @@ package live
 
 import (
 	"math/rand/v2"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -17,6 +18,18 @@ const (
 	spoutExec execKind = iota + 1
 	boltExec
 	ackerExec
+)
+
+// execState is an executor's supervision state, guarded by eng.mu.
+type execState int
+
+const (
+	stateAlive execState = iota
+	// stateDying: die closed, goroutine may still be winding down.
+	stateDying
+	// stateDead: goroutine reaped, drainer (if any) discarding its queue;
+	// the supervisor may restart it.
+	stateDead
 )
 
 // liveMsg is one tuple in flight between two executors. For remote hops
@@ -37,7 +50,10 @@ type liveMsg struct {
 // liveExec is one executor: a goroutine with (for bolts) a bounded input
 // queue of delivery batches. The queue is part of the executor and
 // travels with it across re-assignments — the per-executor queue handoff
-// of smooth migration.
+// of smooth migration. The goroutine is an *incarnation*: CrashWorker
+// kills it and the supervisor starts a fresh one with fresh user-code
+// instances (state loss, as in a real Storm worker crash); the queue and
+// the identity persist across incarnations.
 type liveExec struct {
 	eng   *Engine
 	id    topology.ExecutorID
@@ -52,12 +68,41 @@ type liveExec struct {
 	rand  *rand.Rand
 
 	in       chan []liveMsg
+	ctl      chan []ctlMsg // acker input (nil otherwise)
 	interval time.Duration
 	terminal bool
+	anchored bool // spout of an acker-enabled topology
 
 	// shuffleCtr and scratch are touched only by the owning goroutine.
 	shuffleCtr map[string]int
 	scratch    byte
+
+	// Spout-side reliability state, owned by the spout goroutine of the
+	// current incarnation (the supervisor resets it between incarnations,
+	// when no goroutine runs).
+	pendingRoots map[tuple.ID]*livePendingRoot
+	firstEmit    map[any]time.Time // msgID → first emit, survives replays
+	outstanding  int
+	wheel        *timeoutWheel
+	nextSweep    time.Time
+
+	// ackEvents is the acker→spout completion mailbox: appended under
+	// ackMu by acker goroutines (never blocking), drained by the spout.
+	ackMu     sync.Mutex
+	ackEvents []ackEvent
+
+	// Supervision. dead is the router's lock-free drop check; die is
+	// closed to kill the current incarnation (each goroutine holds its own
+	// copy); gone is closed by the incarnation on exit. state, restarts,
+	// crashedAt, drainStop and drainDone are guarded by eng.mu.
+	dead      atomic.Bool
+	die       chan struct{}
+	gone      chan struct{}
+	state     execState
+	restarts  int
+	crashedAt time.Time
+	drainStop chan struct{}
+	drainDone chan struct{}
 
 	cpuNanos  atomic.Int64 // busy time since last monitor drain
 	processed atomic.Int64 // lifetime tuples processed
@@ -70,41 +115,70 @@ type liveExec struct {
 	procLat *metrics.AtomicHistogram
 }
 
-func (le *liveExec) run() {
+// run drives one incarnation. die and gone are this incarnation's own
+// channels, passed in (not read from the struct) so a crash/restart never
+// races the goroutine's view of them.
+func (le *liveExec) run(die <-chan struct{}, gone chan<- struct{}) {
 	defer le.eng.wg.Done()
+	defer close(gone)
 	switch le.kind {
 	case spoutExec:
-		le.runSpout()
+		le.runSpout(die)
 	case boltExec:
-		le.runBolt()
+		le.runBolt(die)
 	default:
-		// Acker executors are scheduled (they occupy assignment entries)
-		// but take no traffic: the live backend runs unanchored.
-		<-le.eng.stopCh
+		le.runAcker(die)
 	}
 }
 
-// haltPollInterval is how often a halted spout re-checks the halt flag.
+// haltPollInterval is how often a halted (or pending-capped) spout
+// re-checks its gate.
 const haltPollInterval = 500 * time.Microsecond
 
 // runSpout drives emit cycles. As in Storm's spout executor, NextTuple is
 // called in a tight loop and the configured interval is slept only after
 // an empty cycle (idle backoff); when the topology is saturated the
-// bounded downstream queues provide the rate control.
-func (le *liveExec) runSpout() {
+// bounded downstream queues provide the rate control. Anchored spouts
+// additionally drain completion events, advance their timeout wheel, and
+// gate on MaxPending before each cycle.
+func (le *liveExec) runSpout(die <-chan struct{}) {
 	eng := le.eng
 	idleSleep := le.interval
+	if le.anchored {
+		now := time.Now()
+		le.wheel = newTimeoutWheel(eng.AckTimeout(), now)
+		le.nextSweep = now.Add(liveZombieRetention)
+	}
 	for {
 		select {
 		case <-eng.stopCh:
 			return
+		case <-die:
+			return
 		default:
 		}
+		if le.anchored {
+			now := time.Now()
+			le.drainAckEvents()
+			le.expireDueRoots(now)
+			if now.After(le.nextSweep) {
+				le.sweepSpoutZombies(now)
+				le.nextSweep = now.Add(time.Minute)
+			}
+		}
 		if eng.spoutsHalted.Load() {
-			if !le.sleep(haltPollInterval) {
+			if !le.sleep(haltPollInterval, die) {
 				return
 			}
 			continue
+		}
+		if le.anchored {
+			if mp := le.effMaxPending(); mp > 0 && le.outstanding >= mp {
+				if !le.sleep(haltPollInterval, die) {
+					return
+				}
+				continue
+			}
 		}
 		t0 := time.Now()
 		em := spoutEmitter{le: le}
@@ -116,60 +190,111 @@ func (le *liveExec) runSpout() {
 		}
 		delivered := true
 		for i := range em.deliveries {
-			if !eng.deliver(&em.deliveries[i]) {
+			if !eng.deliver(&em.deliveries[i], die) {
 				delivered = false
 				break
 			}
 		}
 		if !delivered {
-			return // engine stopping
+			return // engine stopping or incarnation killed
 		}
-		// Live mode runs unanchored: acknowledge reliable emissions
-		// immediately so spouts retire their in-flight state.
-		t1 := time.Now()
-		for _, id := range em.acks {
-			le.spout.Ack(id)
+		if le.anchored {
+			if !le.flushAnchored(&em, die) {
+				return
+			}
 		}
-		le.cpuNanos.Add(int64(time.Since(t1)))
+		// Acknowledge immediately: for unanchored topologies this is every
+		// reliable emission (no ack protocol runs); for anchored ones only
+		// roots that reached no consumer (complete by definition).
+		if len(em.acks) > 0 {
+			t1 := time.Now()
+			for _, id := range em.acks {
+				if le.anchored {
+					eng.acked.Add(1)
+					eng.rootLat.Add(0)
+				}
+				le.spout.Ack(id)
+			}
+			le.cpuNanos.Add(int64(time.Since(t1)))
+		}
 		if em.roots == 0 {
-			if !le.sleep(idleSleep) {
+			if !le.sleep(idleSleep, die) {
 				return
 			}
 		}
 	}
 }
 
-// sleep waits d or until the engine stops; it reports false on stop.
-func (le *liveExec) sleep(d time.Duration) bool {
+// sleep waits d or until the engine stops or the incarnation is killed;
+// it reports false when the executor should exit.
+func (le *liveExec) sleep(d time.Duration, die <-chan struct{}) bool {
 	select {
 	case <-le.eng.stopCh:
+		return false
+	case <-die:
 		return false
 	case <-time.After(d):
 		return true
 	}
 }
 
-func (le *liveExec) runBolt() {
+func (le *liveExec) runBolt(die <-chan struct{}) {
 	eng := le.eng
 	for {
 		select {
 		case <-eng.stopCh:
 			return
+		case <-die:
+			le.dropRemaining(nil, 0)
+			return
 		case batch := <-le.in:
+			var acks []ctlAcc
 			for i := range batch {
-				if !le.process(batch[i]) {
+				select {
+				case <-die:
+					// Crashed mid-batch: the unprocessed tail is dropped
+					// (its roots replay); processed heads were acked.
+					le.dropRemaining(batch, i)
+					le.flushAcks(acks, die)
+					return
+				default:
+				}
+				if !le.process(batch[i], &acks, die) {
+					le.dropRemaining(batch, i+1)
 					return
 				}
+			}
+			if !le.flushAcks(acks, die) {
+				return
 			}
 		}
 	}
 }
 
+// dropRemaining accounts for a batch tail abandoned by a dying bolt.
+func (le *liveExec) dropRemaining(batch []liveMsg, from int) {
+	if n := int64(len(batch) - from); n > 0 {
+		le.eng.pending.Add(-n)
+		le.eng.dropped.Add(n)
+	}
+}
+
+// flushAcks sends the batch's accumulated XOR acks to their ackers.
+func (le *liveExec) flushAcks(acks []ctlAcc, die <-chan struct{}) bool {
+	for i := range acks {
+		if !le.eng.sendCtl(le, acks[i].to, acks[i].msgs, die) {
+			return false
+		}
+	}
+	return true
+}
+
 // process runs the bolt on one input tuple and forwards its emissions.
-// The matching eng.pending decrement happens only after every downstream
-// emission is enqueued, so Quiesce cannot observe a momentarily-empty
-// system with work still materializing.
-func (le *liveExec) process(m liveMsg) bool {
+// Anchored inputs contribute one XOR ack (input edge ^ new edges) to the
+// cycle's per-acker accumulators. The matching eng.pending decrement
+// happens only after every downstream emission is enqueued, so Quiesce
+// cannot observe a momentarily-empty system with work still materializing.
+func (le *liveExec) process(m liveMsg, acks *[]ctlAcc, die <-chan struct{}) bool {
 	eng := le.eng
 	t0 := time.Now()
 	if m.enc != nil {
@@ -183,7 +308,7 @@ func (le *liveExec) process(m liveMsg) bool {
 		}
 		m.tup.Values = vals
 	}
-	em := boltEmitter{le: le, bornAt: m.bornAt}
+	em := boltEmitter{le: le, bornAt: m.bornAt, root: m.tup.Root}
 	le.bolt.Execute(m.tup, &em)
 	busy := time.Since(t0)
 	le.cpuNanos.Add(int64(busy))
@@ -203,13 +328,29 @@ func (le *liveExec) process(m liveMsg) bool {
 	le.emitted.Add(sent)
 	ok := true
 	for i := range em.deliveries {
-		if !eng.deliver(&em.deliveries[i]) {
+		if !eng.deliver(&em.deliveries[i], die) {
 			ok = false
 			break
 		}
 	}
+	if ok && m.tup.Root != 0 {
+		if ak := le.ackerFor(eng.routes.Load(), m.tup.Root); ak != nil {
+			appendCtl(acks, ak, ctlMsg{
+				kind: ctlAck, root: m.tup.Root, xor: m.tup.Edge ^ em.xorAcc,
+			})
+		}
+	}
 	eng.pending.Add(-1)
 	return ok
+}
+
+// newEdgeID draws a non-zero random tuple ID on the owning goroutine.
+func (le *liveExec) newEdgeID() tuple.ID {
+	for {
+		if id := tuple.ID(le.rand.Uint64()); id != 0 {
+			return id
+		}
+	}
 }
 
 // ---- emitters ----
@@ -218,28 +359,45 @@ type spoutEmitter struct {
 	le         *liveExec
 	deliveries []delivery
 	acks       []any
+	rootEmits  []liveRootEmit
 	roots      int
 }
 
 var _ engine.SpoutEmitter = (*spoutEmitter)(nil)
 
 func (e *spoutEmitter) Emit(stream string, vals tuple.Values) {
-	n := e.le.route(&e.deliveries, stream, vals, time.Now())
+	n, _ := e.le.route(&e.deliveries, stream, vals, time.Now(), 0)
 	if n >= 0 {
 		e.roots++
 	}
 }
 
 func (e *spoutEmitter) EmitWithID(stream string, vals tuple.Values, msgID any) {
-	n := e.le.route(&e.deliveries, stream, vals, time.Now())
-	if n >= 0 {
-		e.roots++
-		e.acks = append(e.acks, msgID)
+	if !e.le.anchored {
+		// Unanchored topology: behaves like Emit, acked after the flush.
+		n, _ := e.le.route(&e.deliveries, stream, vals, time.Now(), 0)
+		if n >= 0 {
+			e.roots++
+			e.acks = append(e.acks, msgID)
+		}
+		return
 	}
+	root := e.le.newEdgeID()
+	n, xorAcc := e.le.route(&e.deliveries, stream, vals, time.Now(), root)
+	if n < 0 {
+		return // undeclared stream
+	}
+	e.roots++
+	if n == 0 {
+		// No consumers: the tree is complete the moment it is emitted.
+		e.acks = append(e.acks, msgID)
+		return
+	}
+	e.rootEmits = append(e.rootEmits, liveRootEmit{root: root, initXor: xorAcc, msgID: msgID})
 }
 
 func (e *spoutEmitter) EmitDirect(consumer string, taskIndex int, stream string, vals tuple.Values) {
-	if e.le.routeDirect(&e.deliveries, consumer, taskIndex, stream, vals, time.Now()) {
+	if _, ok := e.le.routeDirect(&e.deliveries, consumer, taskIndex, stream, vals, time.Now(), 0); ok {
 		e.roots++
 	}
 }
@@ -247,15 +405,19 @@ func (e *spoutEmitter) EmitDirect(consumer string, taskIndex int, stream string,
 type boltEmitter struct {
 	le         *liveExec
 	bornAt     time.Time
+	root       tuple.ID // anchor inherited from the input tuple (0 = unanchored)
+	xorAcc     tuple.ID // XOR of the edge IDs this Execute emitted
 	deliveries []delivery
 }
 
 var _ engine.Emitter = (*boltEmitter)(nil)
 
 func (e *boltEmitter) Emit(stream string, vals tuple.Values) {
-	e.le.route(&e.deliveries, stream, vals, e.bornAt)
+	_, xor := e.le.route(&e.deliveries, stream, vals, e.bornAt, e.root)
+	e.xorAcc ^= xor
 }
 
 func (e *boltEmitter) EmitDirect(consumer string, taskIndex int, stream string, vals tuple.Values) {
-	e.le.routeDirect(&e.deliveries, consumer, taskIndex, stream, vals, e.bornAt)
+	eid, _ := e.le.routeDirect(&e.deliveries, consumer, taskIndex, stream, vals, e.bornAt, e.root)
+	e.xorAcc ^= eid
 }

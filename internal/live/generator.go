@@ -170,6 +170,11 @@ func (g *Generator) generate(force bool) bool {
 	}
 	snap := g.db.Snapshot()
 	in := scheduler.NewInput(tops, g.eng.Cluster(), snap, g.cfg.CapacityFraction)
+	// Fence failed nodes off the candidate set so Algorithm 1 reschedules
+	// the dead executors around them.
+	for _, down := range g.eng.DownNodes() {
+		in.OccupyNode(down)
+	}
 	global, err := g.Algorithm().Schedule(in)
 	if err != nil {
 		return false

@@ -20,11 +20,23 @@
 // path. Traffic-aware placement therefore measurably raises real
 // tuples/s: every co-located chatty pair is serialization work removed.
 //
-// The live backend runs topologies unanchored: EmitWithID behaves like
-// Emit and the spout's Ack is invoked immediately after the emit cycle
-// flushes, so reliable spouts do not replay. Bounded queues provide
-// backpressure instead of MaxPending; acker executors, if configured, are
-// scheduled but receive no traffic.
+// Topologies built with SetAckers(n > 0) run anchored, wall-clock
+// at-least-once: EmitWithID stamps a root ID, every hop carries an XOR
+// edge ID to the topology's acker executors (reusing internal/acker's
+// Tracker), completions call the spout's Ack, and a per-spout timeout
+// wheel fails roots whose acks stop arriving — reliable spouts then
+// replay, and the engine keeps the first-emit time across replays so
+// completion latency matches the simulation's metric. MaxPending bounds a
+// spout's outstanding roots so replay storms backpressure instead of
+// overflowing queues. Topologies without ackers keep the old unanchored
+// behaviour: Ack immediately after the emit cycle flushes, no replay.
+//
+// The engine also injects and survives failures: CrashWorker/FailNode
+// kill executor goroutines for real and drop their queued batches, a
+// Supervisor restarts crashed workers with exponential backoff, and the
+// Monitor stops reporting nodes that are down so Algorithm 1 reschedules
+// around them — in-flight roots lost in the crash time out and replay
+// through the new placement.
 package live
 
 import (
@@ -35,11 +47,14 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tstorm/internal/acker"
 	"tstorm/internal/cluster"
 	"tstorm/internal/engine"
 	"tstorm/internal/metrics"
+	"tstorm/internal/sim"
 	"tstorm/internal/topology"
 	"tstorm/internal/trace"
+	"tstorm/internal/tuple"
 )
 
 // Config holds the live engine's knobs. Durations shrink freely for tests.
@@ -74,6 +89,14 @@ type Config struct {
 	// unit: load = cpuSeconds/window × RefMHz (default 2000, the paper's
 	// core speed).
 	RefMHz float64
+	// AckTimeout is how long an anchored root may stay un-acked before the
+	// spout's timeout wheel fails it (default acker.DefaultTimeout, Storm's
+	// 30 s). Ignored by topologies without ackers.
+	AckTimeout time.Duration
+	// MaxPending caps each spout's outstanding (un-acked) roots when the
+	// spout's App does not set its own App.MaxPending entry; 0 = unlimited.
+	// Only anchored spouts are gated.
+	MaxPending int
 	// Trace, when non-nil, receives wall-clock runtime events (apply,
 	// spout halt/resume, per-executor migration, drain outcomes); the
 	// monitor additionally reports sampling rounds and overload
@@ -91,6 +114,7 @@ func DefaultConfig() Config {
 		InterNodeCopies: 4,
 		WireCost:        3 * time.Microsecond,
 		RefMHz:          2000,
+		AckTimeout:      acker.DefaultTimeout,
 	}
 }
 
@@ -116,6 +140,12 @@ func (c *Config) fillDefaults() {
 	if c.RefMHz <= 0 {
 		c.RefMHz = d.RefMHz
 	}
+	if c.AckTimeout <= 0 {
+		c.AckTimeout = d.AckTimeout
+	}
+	if c.MaxPending < 0 {
+		c.MaxPending = 0
+	}
 }
 
 // Engine executes submitted topologies on goroutines, wall-clock.
@@ -135,6 +165,11 @@ type Engine struct {
 	// process) — the locality set of LocalOrShuffleGrouping. Like
 	// placement, it is bookkeeping; routing reads the snapshot's copy.
 	groups map[cluster.SlotID][]*liveExec
+	// downNodes marks nodes taken out by FailNode (guarded by mu). Dead
+	// executors placed there are not restarted in place; the monitor stops
+	// reporting the node and the generator fences it off Algorithm 1's
+	// candidate set until RecoverNode.
+	downNodes map[cluster.NodeID]bool
 
 	denseRev []topology.ExecutorID
 
@@ -147,6 +182,16 @@ type Engine struct {
 	stopped atomic.Bool
 	stopCh  chan struct{}
 	wg      sync.WaitGroup
+
+	// epoch is the wall-clock instant Start ran; the acker Trackers keep
+	// sim.Time internally, so wall instants convert as now.Sub(epoch).
+	epoch time.Time
+
+	// ackTimeout (nanoseconds) and maxPending hold the effective reliability
+	// knobs. They start from Config but live in atomics so the facade's
+	// options can adjust them even around Start without racing readers.
+	ackTimeout atomic.Int64
+	maxPending atomic.Int64
 
 	// Spout halting (§IV-D smoothing). haltGen invalidates stale resume
 	// timers when re-assignments overlap; resumeTimer retains the latest
@@ -184,6 +229,22 @@ type Engine struct {
 	sinkProcessed atomic.Int64 // tuples processed by terminal bolts
 	migrations    atomic.Int64 // executors moved by Apply
 	applies       atomic.Int64 // re-assignments applied
+
+	// Reliability counters (anchored topologies only).
+	acked          atomic.Int64 // roots fully processed and acked to their spout
+	lateAcked      atomic.Int64 // of those, completions that arrived after a timeout
+	failedRoots    atomic.Int64 // roots failed by a spout's timeout wheel
+	replayed       atomic.Int64 // re-emits of an already-seen spout msgID
+	pendingRoots   atomic.Int64 // outstanding (un-acked, un-failed) roots right now
+	dropped        atomic.Int64 // tuples dropped at or drained from dead executors
+	workerCrashes  atomic.Int64 // executor goroutines killed by CrashWorker/FailNode
+	workerRestarts atomic.Int64 // supervisor restarts
+
+	// rootLat is the root completion-latency histogram (first emit → ack,
+	// milliseconds) — the live analogue of the sim's completion metric.
+	// First-emit time survives replays, so a root that timed out, replayed
+	// and then completed reports its full latency, as in Fig. 3.
+	rootLat *metrics.SyncHistogram
 }
 
 // NewEngine returns a live engine over the given emulated cluster.
@@ -200,12 +261,40 @@ func NewEngine(cfg Config, cl *cluster.Cluster) (*Engine, error) {
 		execs:     make(map[topology.ExecutorID]*liveExec),
 		placement: make(map[topology.ExecutorID]cluster.SlotID),
 		groups:    make(map[cluster.SlotID][]*liveExec),
+		downNodes: make(map[cluster.NodeID]bool),
 		stopCh:    make(chan struct{}),
 		traffic:   metrics.NewSyncTrafficMatrix(),
 		latency:   metrics.NewSyncLatencyHistogram(),
+		rootLat:   metrics.NewSyncLatencyHistogram(),
 	}
+	eng.ackTimeout.Store(int64(cfg.AckTimeout))
+	eng.maxPending.Store(int64(cfg.MaxPending))
 	eng.routes.Store(emptyRouteTable())
 	return eng, nil
+}
+
+// AckTimeout returns the effective root timeout.
+func (eng *Engine) AckTimeout() time.Duration {
+	return time.Duration(eng.ackTimeout.Load())
+}
+
+// SetAckTimeout adjusts the root timeout. Roots already registered with
+// the old deadline keep it; new roots use the new value.
+func (eng *Engine) SetAckTimeout(d time.Duration) {
+	if d > 0 {
+		eng.ackTimeout.Store(int64(d))
+	}
+}
+
+// MaxPending returns the engine-level default spout pending cap.
+func (eng *Engine) MaxPending() int { return int(eng.maxPending.Load()) }
+
+// SetMaxPending adjusts the engine-level default spout pending cap
+// (per-spout App.MaxPending entries still win). 0 = unlimited.
+func (eng *Engine) SetMaxPending(n int) {
+	if n >= 0 {
+		eng.maxPending.Store(int64(n))
+	}
 }
 
 // Config returns the engine's configuration.
@@ -271,13 +360,21 @@ func (eng *Engine) newExec(app *engine.App, id topology.ExecutorID) *liveExec {
 			uint64(len(eng.denseRev))+1)),
 	}
 	eng.denseRev = append(eng.denseRev, id)
+	le.die = make(chan struct{})
+	le.gone = make(chan struct{})
 	switch {
 	case comp.Kind == topology.SpoutKind:
 		le.kind = spoutExec
 		le.spout = app.Spouts[id.Component]()
 		le.interval = spoutIntervalFor(app, id.Component)
+		if app.Topology.Ackers() > 0 {
+			le.anchored = true
+			le.pendingRoots = make(map[tuple.ID]*livePendingRoot)
+			le.firstEmit = make(map[any]time.Time)
+		}
 	case id.Component == topology.AckerComponent:
-		le.kind = ackerExec // scheduled but idle: live runs unanchored
+		le.kind = ackerExec
+		le.ctl = make(chan []ctlMsg, eng.cfg.QueueCapacity)
 	default:
 		le.kind = boltExec
 		le.bolt = app.Bolts[id.Component]()
@@ -336,11 +433,18 @@ func (eng *Engine) Start() error {
 	}
 	n := len(eng.denseRev)
 	eng.edges.Store(&edgeMatrix{n: n, counts: make([]edgeCounter, n*n)})
+	eng.epoch = time.Now()
 	for _, le := range eng.execs {
 		eng.wg.Add(1)
-		go le.run()
+		go le.run(le.die, le.gone)
 	}
 	return nil
+}
+
+// simNow converts a wall instant to the engine's sim.Time axis (the unit
+// the acker Trackers keep internally).
+func (eng *Engine) simNow(t time.Time) sim.Time {
+	return sim.Time(t.Sub(eng.epoch))
 }
 
 // edgeMatrix is the engine's dense per-edge counter matrix, indexed

@@ -166,6 +166,13 @@ func (m *Monitor) Sample() {
 		if m.forgotten[le.id.Topology] {
 			continue
 		}
+		if eng.NodeDown(rt.slotOf[le.dense].Node) {
+			// Dead nodes are not reported: their executors vanish from the
+			// load picture, so the next schedule (with the node fenced off
+			// the candidate set) places them purely by where their flows
+			// pull them — the paper's reschedule-around-failure behaviour.
+			continue
+		}
 		mhz := float64(nanos) / 1e9 / secs * eng.cfg.RefMHz
 		loads[le.id] = mhz
 		nodeLoad[rt.slotOf[le.dense].Node] += mhz

@@ -30,26 +30,29 @@ type delivery struct {
 
 // route resolves one logical emission to per-target deliveries, paying the
 // sender-side boundary costs (serialization for remote hops, copy passes
-// for inter-node hops). It returns the number of transfers appended, or
-// -1 if the stream is undeclared. Direct-grouping subscribers are skipped,
+// for inter-node hops). It returns the number of transfers appended (-1 if
+// the stream is undeclared) and, for anchored emissions (root != 0), the
+// XOR of the fresh edge IDs stamped on them — the ack protocol's
+// contribution of this emission. Direct-grouping subscribers are skipped,
 // as in the simulated engine.
 //
 // The routing snapshot is loaded once per emission and never mutated, so
 // no engine lock is taken anywhere on this path and every target of one
 // emission is resolved against a single consistent placement.
-func (le *liveExec) route(out *[]delivery, stream string, vals tuple.Values, bornAt time.Time) int {
+func (le *liveExec) route(out *[]delivery, stream string, vals tuple.Values, bornAt time.Time, root tuple.ID) (int, tuple.ID) {
 	if stream == "" {
 		stream = topology.DefaultStream
 	}
 	schema, ok := le.comp.Outputs[stream]
 	if !ok {
-		return -1
+		return -1, 0
 	}
 	rt := le.eng.routes.Load()
 	top := le.app.Topology
 	srcSlot := rt.slotOf[le.dense]
 	size := tuple.SizeOf(vals)
 	n := 0
+	var xorAcc tuple.ID
 
 	for _, edge := range top.Consumers(le.comp.Name, stream) {
 		if edge.Grouping.Type == topology.DirectGrouping {
@@ -61,34 +64,43 @@ func (le *liveExec) route(out *[]delivery, stream string, vals tuple.Values, bor
 			if tgt == nil || tgt.in == nil {
 				continue
 			}
-			le.appendDelivery(out, rt, tgt, srcSlot, stream, vals, size, bornAt)
+			var eid tuple.ID
+			if root != 0 {
+				eid = le.newEdgeID()
+				xorAcc ^= eid
+			}
+			le.appendDelivery(out, rt, tgt, srcSlot, stream, vals, size, bornAt, root, eid)
 			n++
 		}
 	}
-	return n
+	return n, xorAcc
 }
 
-// routeDirect resolves an EmitDirect call; it reports whether a transfer
-// was appended.
-func (le *liveExec) routeDirect(out *[]delivery, consumer string, taskIndex int, stream string, vals tuple.Values, bornAt time.Time) bool {
+// routeDirect resolves an EmitDirect call; it returns the transfer's fresh
+// edge ID (0 when unanchored) and whether a transfer was appended.
+func (le *liveExec) routeDirect(out *[]delivery, consumer string, taskIndex int, stream string, vals tuple.Values, bornAt time.Time, root tuple.ID) (tuple.ID, bool) {
 	if stream == "" {
 		stream = topology.DefaultStream
 	}
 	if _, ok := le.comp.Outputs[stream]; !ok {
-		return false
+		return 0, false
 	}
 	top := le.app.Topology
 	cons, ok := top.Component(consumer)
 	if !ok || taskIndex < 0 || taskIndex >= cons.Parallelism {
-		return false
+		return 0, false
 	}
 	rt := le.eng.routes.Load()
 	tgt := rt.executor(le.id.Topology, consumer, taskIndex)
 	if tgt == nil || tgt.in == nil {
-		return false
+		return 0, false
 	}
-	le.appendDelivery(out, rt, tgt, rt.slotOf[le.dense], stream, vals, tuple.SizeOf(vals), bornAt)
-	return true
+	var eid tuple.ID
+	if root != 0 {
+		eid = le.newEdgeID()
+	}
+	le.appendDelivery(out, rt, tgt, rt.slotOf[le.dense], stream, vals, tuple.SizeOf(vals), bornAt, root, eid)
+	return eid, true
 }
 
 // appendDelivery builds one transfer, paying the sender-side cost of the
@@ -96,10 +108,12 @@ func (le *liveExec) routeDirect(out *[]delivery, consumer string, taskIndex int,
 // new batch for a target not yet seen this cycle). Local transfers share
 // the Values slice (tuples are immutable by contract); remote transfers
 // carry the encoded payload and the receiver decodes it.
-func (le *liveExec) appendDelivery(out *[]delivery, rt *routeTable, tgt *liveExec, srcSlot cluster.SlotID, stream string, vals tuple.Values, size int, bornAt time.Time) {
+func (le *liveExec) appendDelivery(out *[]delivery, rt *routeTable, tgt *liveExec, srcSlot cluster.SlotID, stream string, vals tuple.Values, size int, bornAt time.Time, root, edge tuple.ID) {
 	dstSlot := rt.slotOf[tgt.dense]
 	msg := liveMsg{
 		tup: tuple.Tuple{
+			Root:         root,
+			Edge:         edge,
 			Stream:       stream,
 			SrcComponent: le.comp.Name,
 			SrcTask:      le.id.Index,
@@ -194,18 +208,28 @@ func (le *liveExec) chooseTargets(rt *routeTable, edge topology.ConsumerEdge, pa
 }
 
 // deliver enqueues one routed batch, blocking while the target queue is
-// full (backpressure). It reports false when the engine is stopping. The
-// transfers are counted only once enqueued, so the statistics match what
-// receivers will actually observe.
-func (eng *Engine) deliver(d *delivery) bool {
+// full (backpressure). It reports false when the engine is stopping or the
+// sending incarnation was killed (die). Batches for a dead executor are
+// dropped on the floor — anchored roots recover via timeout + replay — so
+// senders never wedge on a crashed worker's full queue. The transfers are
+// counted only once enqueued, so the statistics match what receivers will
+// actually observe.
+func (eng *Engine) deliver(d *delivery, die <-chan struct{}) bool {
 	n := int64(len(d.msgs))
 	if n == 0 {
+		return true
+	}
+	if d.to.dead.Load() {
+		eng.dropped.Add(n)
 		return true
 	}
 	eng.pending.Add(n)
 	select {
 	case d.to.in <- d.msgs:
 	case <-eng.stopCh:
+		eng.pending.Add(-n)
+		return false
+	case <-die:
 		eng.pending.Add(-n)
 		return false
 	}

@@ -246,7 +246,7 @@ func TestRouteObservesSinglePlacement(t *testing.T) {
 	vals := tuple.Values{int64(7)}
 	for i := 0; i < 5000; i++ {
 		var out []delivery
-		if n := le.route(&out, "", vals, time.Time{}); n != 2 {
+		if n, _ := le.route(&out, "", vals, time.Time{}, 0); n != 2 {
 			t.Fatalf("route delivered %d transfers, want 2", n)
 		}
 		for _, d := range out {

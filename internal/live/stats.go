@@ -30,6 +30,20 @@ type Totals struct {
 	Migrations int64
 	// Applies counts applied re-assignments.
 	Applies int64
+	// Acked counts anchored roots fully processed and acked to a spout.
+	Acked int64
+	// LateAcked counts, of those, completions arriving after a timeout.
+	LateAcked int64
+	// FailedRoots counts roots failed by a spout's timeout wheel.
+	FailedRoots int64
+	// Replayed counts re-emits of an already-pending spout msgID.
+	Replayed int64
+	// Dropped counts tuples dropped at (or drained from) dead executors.
+	Dropped int64
+	// WorkerCrashes counts executor goroutines killed by CrashWorker or
+	// FailNode; WorkerRestarts counts supervisor restarts.
+	WorkerCrashes  int64
+	WorkerRestarts int64
 }
 
 // Totals returns the current counter snapshot.
@@ -43,6 +57,13 @@ func (eng *Engine) Totals() Totals {
 		SinkProcessed:    eng.sinkProcessed.Load(),
 		Migrations:       eng.migrations.Load(),
 		Applies:          eng.applies.Load(),
+		Acked:            eng.acked.Load(),
+		LateAcked:        eng.lateAcked.Load(),
+		FailedRoots:      eng.failedRoots.Load(),
+		Replayed:         eng.replayed.Load(),
+		Dropped:          eng.dropped.Load(),
+		WorkerCrashes:    eng.workerCrashes.Load(),
+		WorkerRestarts:   eng.workerRestarts.Load(),
 	}
 }
 
@@ -57,6 +78,13 @@ func (t Totals) Sub(o Totals) Totals {
 		SinkProcessed:    t.SinkProcessed - o.SinkProcessed,
 		Migrations:       t.Migrations - o.Migrations,
 		Applies:          t.Applies - o.Applies,
+		Acked:            t.Acked - o.Acked,
+		LateAcked:        t.LateAcked - o.LateAcked,
+		FailedRoots:      t.FailedRoots - o.FailedRoots,
+		Replayed:         t.Replayed - o.Replayed,
+		Dropped:          t.Dropped - o.Dropped,
+		WorkerCrashes:    t.WorkerCrashes - o.WorkerCrashes,
+		WorkerRestarts:   t.WorkerRestarts - o.WorkerRestarts,
 	}
 }
 
@@ -70,11 +98,30 @@ func (t Totals) InterNodeFraction() float64 {
 	return float64(t.InterNodeSent) / float64(t.TuplesSent)
 }
 
+// PendingRoots reports how many anchored roots are outstanding right now
+// (emitted, not yet acked or failed) across all spouts — the
+// tuple-conservation gauge: with spouts done and failures replayed, it
+// returns to 0 exactly when every root was accounted for.
+func (eng *Engine) PendingRoots() int64 { return eng.pendingRoots.Load() }
+
 // DrainLatency returns the end-to-end latency histogram accumulated since
 // the last drain (spout emit → terminal bolt completion, milliseconds) and
 // resets it for the next window.
 func (eng *Engine) DrainLatency() *metrics.Histogram {
 	return eng.latency.Drain()
+}
+
+// CompletionLatencySnapshot returns the cumulative root completion-latency
+// histogram (first emit → ack, milliseconds; first-emit time survives
+// replays). Anchored topologies only.
+func (eng *Engine) CompletionLatencySnapshot() *metrics.Histogram {
+	return eng.rootLat.Snapshot()
+}
+
+// DrainCompletionLatency returns the completion-latency histogram window
+// since the last drain and resets it.
+func (eng *Engine) DrainCompletionLatency() *metrics.Histogram {
+	return eng.rootLat.Drain()
 }
 
 // LatencySnapshot returns the cumulative end-to-end latency histogram

@@ -28,7 +28,11 @@ type Fleet struct {
 	// knownFlows tracks pairs ever seen so silent pairs decay toward 0
 	// instead of freezing at their last estimate.
 	knownFlows map[metrics.Pair]bool
-	samples    int
+	// forgotten lists topologies dropped via Forget: their executors are
+	// skipped entirely so samples cannot resurrect keys the database has
+	// deleted.
+	forgotten map[string]bool
+	samples   int
 }
 
 // Start creates the fleet and schedules sampling every period on the
@@ -43,6 +47,7 @@ func Start(rt *engine.Runtime, db *loaddb.DB, period time.Duration) *Fleet {
 		db:         db,
 		period:     period,
 		knownFlows: make(map[metrics.Pair]bool),
+		forgotten:  make(map[string]bool),
 	}
 	f.ticker = rt.Sim().Every(period, period, f.Sample)
 	return f
@@ -61,6 +66,22 @@ func (f *Fleet) Samples() int { return f.samples }
 // Period returns the sampling period.
 func (f *Fleet) Period() time.Duration { return f.period }
 
+// Forget drops a topology from the fleet's memory and removes its records
+// from the load database: knownFlows entries are pruned and later samples
+// skip the topology's executors, so the zero-rate decay writes cannot
+// resurrect keys DB.Forget deleted (which would also keep HasData true for
+// a dead topology). The live monitor offers the same contract.
+func (f *Fleet) Forget(topo string) {
+	f.forgotten[topo] = true
+	for p := range f.knownFlows {
+		if f.rt.ExecutorByDense(p.From).Topology == topo ||
+			f.rt.ExecutorByDense(p.To).Topology == topo {
+			delete(f.knownFlows, p)
+		}
+	}
+	f.db.Forget(topo)
+}
+
 // Sample performs one sampling round: drain CPU counters and the traffic
 // matrix, convert to MHz and tuples/s, and update the database.
 func (f *Fleet) Sample() {
@@ -68,6 +89,9 @@ func (f *Fleet) Sample() {
 	secs := f.period.Seconds()
 
 	for _, s := range f.rt.DrainLoadSamples() {
+		if f.forgotten[s.Exec.Topology] {
+			continue
+		}
 		// cycles over the window → MHz (1 MHz = 1e6 cycles/s).
 		mhz := s.Cycles / secs / 1e6
 		f.db.UpdateExecutorLoad(s.Exec, mhz)
@@ -75,8 +99,12 @@ func (f *Fleet) Sample() {
 
 	flows := f.rt.DrainTraffic()
 	for p, count := range flows {
+		from, to := f.rt.ExecutorByDense(p.From), f.rt.ExecutorByDense(p.To)
+		if f.forgotten[from.Topology] || f.forgotten[to.Topology] {
+			continue
+		}
 		f.knownFlows[p] = true
-		f.db.UpdateTraffic(f.rt.ExecutorByDense(p.From), f.rt.ExecutorByDense(p.To), count/secs)
+		f.db.UpdateTraffic(from, to, count/secs)
 	}
 	// Pairs that were active before but silent this window decay to 0.
 	for p := range f.knownFlows {

@@ -126,8 +126,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		e.sample(c.name, nil, float64(c.v))
 	}
 
+	ackCounters := []struct {
+		name, help string
+		v          int64
+	}{
+		{"tstorm_ack_acked_total", "Anchored roots fully processed and acked to a spout.", t.Acked},
+		{"tstorm_ack_late_total", "Acked roots whose completion arrived after a timeout.", t.LateAcked},
+		{"tstorm_ack_failed_total", "Roots failed by a spout's timeout wheel.", t.FailedRoots},
+		{"tstorm_ack_replayed_total", "Re-emits of an already-pending spout message ID.", t.Replayed},
+		{"tstorm_engine_dropped_total", "Tuples dropped at (or drained from) dead executors.", t.Dropped},
+		{"tstorm_worker_crashes_total", "Executor goroutines killed by fault injection.", t.WorkerCrashes},
+		{"tstorm_worker_restarts_total", "Executors restarted by the supervisor.", t.WorkerRestarts},
+	}
+	for _, c := range ackCounters {
+		e.family(c.name, c.help, "counter")
+		e.sample(c.name, nil, float64(c.v))
+	}
+	e.family("tstorm_ack_pending", "Anchored roots currently in flight (emitted, not yet acked or failed).", "gauge")
+	e.sample("tstorm_ack_pending", nil, float64(eng.PendingRoots()))
+
 	e.family("tstorm_latency_ms", "End-to-end tuple latency, spout emit to terminal bolt (cumulative).", "histogram")
 	e.histogram("tstorm_latency_ms", nil, eng.LatencySnapshot())
+
+	e.family("tstorm_completion_latency_ms", "Root completion latency, first spout emit to ack, surviving replays (cumulative).", "histogram")
+	e.histogram("tstorm_completion_latency_ms", nil, eng.CompletionLatencySnapshot())
 
 	stats := eng.ExecutorStats()
 	execLabels := func(st *live.ExecutorStat) []label {

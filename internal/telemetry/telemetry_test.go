@@ -113,7 +113,16 @@ func TestMetricsDeterministicAndComplete(t *testing.T) {
 		"tstorm_engine_sink_processed_total",
 		"tstorm_engine_migrations_total",
 		"tstorm_engine_applies_total",
+		"tstorm_ack_acked_total",
+		"tstorm_ack_late_total",
+		"tstorm_ack_failed_total",
+		"tstorm_ack_replayed_total",
+		"tstorm_engine_dropped_total",
+		"tstorm_worker_crashes_total",
+		"tstorm_worker_restarts_total",
+		"tstorm_ack_pending",
 		"tstorm_latency_ms",
+		"tstorm_completion_latency_ms",
 		"tstorm_executor_queue_depth",
 		"tstorm_executor_queue_capacity",
 		"tstorm_executor_processed_total",
@@ -141,6 +150,10 @@ func TestMetricsDeterministicAndComplete(t *testing.T) {
 		`tstorm_executor_process_latency_ms_count{topology="expo",component="work",index="0"} 0`,
 		"tstorm_engine_tuples_sent_total 0",
 		"tstorm_trace_dropped_total 0",
+		"tstorm_ack_acked_total 0",
+		"tstorm_ack_pending 0",
+		`tstorm_completion_latency_ms_bucket{le="+Inf"} 0`,
+		"tstorm_completion_latency_ms_count 0",
 	} {
 		if !strings.Contains(first, line+"\n") {
 			t.Errorf("scrape missing line %q", line)

@@ -41,6 +41,9 @@ const (
 	QueuesDrained    Kind = "queues-drained"
 	ExecutorMigrated Kind = "executor-migrated"
 	MonitorSampled   Kind = "monitor-sampled"
+	WorkerCrashed    Kind = "worker-crashed"
+	WorkerRestarted  Kind = "worker-restarted"
+	TupleReplayed    Kind = "tuple-replayed"
 )
 
 // Event is one recorded occurrence. Simulated components stamp At; the

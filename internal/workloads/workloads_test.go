@@ -321,3 +321,70 @@ func TestAppsValidate(t *testing.T) {
 	}
 	_ = topology.DefaultStream
 }
+
+// TestReliableCorpusSpoutRestart drives the reliable reader through a
+// fail-replay cycle and a simulated worker restart, checking the shared
+// ledger keeps at-least-once bookkeeping across incarnations.
+func TestReliableCorpusSpoutRestart(t *testing.T) {
+	cfg := DefaultSelfFedWordCountConfig()
+	cfg.Sink = docstore.NewStore()
+	cfg.Spouts = 1
+	cfg.Limit = 3
+	app, audit, err := NewReliableSelfFedWordCount(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Topology.Ackers() == 0 {
+		t.Fatal("reliable topology has no ackers")
+	}
+	if app.MaxPending["reader"] == 0 {
+		t.Fatal("reliable reader has no max-pending cap")
+	}
+	ctx := &engine.Context{Topology: "wordcount-live", Component: "reader", Index: 0, Parallelism: 1}
+
+	s := app.Spouts["reader"]().(*reliableCorpusSpout)
+	s.Open(ctx)
+	em := &captureEmitter{}
+	for i := 0; i < 4; i++ {
+		s.NextTuple(em) // 4th call: limit reached, no emit
+	}
+	if len(em.ids) != 3 {
+		t.Fatalf("emitted %d ids, want 3 (limit)", len(em.ids))
+	}
+	s.Ack(0)
+	s.Fail(1)
+	s.NextTuple(em)
+	if len(em.ids) != 4 || em.ids[3] != 1 {
+		t.Fatalf("failed line not replayed: %v", em.ids)
+	}
+	if got := audit.AckedLines(); got != 1 {
+		t.Fatalf("AckedLines = %d, want 1", got)
+	}
+	if got := audit.OutstandingLines(); got != 2 {
+		t.Fatalf("OutstandingLines = %d, want 2", got)
+	}
+
+	// The worker crashes: a fresh incarnation opens over the same ledger
+	// and must re-issue both unacked lines, nothing else.
+	s2 := app.Spouts["reader"]().(*reliableCorpusSpout)
+	s2.Open(ctx)
+	em2 := &captureEmitter{}
+	for i := 0; i < 4; i++ {
+		s2.NextTuple(em2)
+	}
+	if len(em2.ids) != 2 || em2.ids[0] != 1 || em2.ids[1] != 2 {
+		t.Fatalf("restart re-issued %v, want [1 2]", em2.ids)
+	}
+	s2.Ack(1)
+	s2.Ack(2)
+	s2.Ack(2) // duplicate ack must not double-count
+	if got := audit.AckedLines(); got != 3 {
+		t.Fatalf("AckedLines = %d, want 3", got)
+	}
+	if got := audit.OutstandingLines(); got != 0 {
+		t.Fatalf("OutstandingLines = %d, want 0", got)
+	}
+	if got := audit.Restarts(); got != 1 {
+		t.Fatalf("Restarts = %d, want 1", got)
+	}
+}

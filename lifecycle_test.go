@@ -1,0 +1,232 @@
+package tstorm_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tstorm"
+)
+
+// pollUntil waits for cond with a deadline (wall clock — live backend).
+func pollUntil(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out after %v waiting for %s", d, what)
+}
+
+func simpleTopology(t *testing.T, name string) *tstorm.Topology {
+	t.Helper()
+	b := tstorm.NewTopology(name, 2)
+	b.Spout("src", 1).Output("default", "v")
+	b.Bolt("work", 2).Shuffle("src")
+	top, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top
+}
+
+// TestWireOptionValidation covers the option error paths: invalid values,
+// live-only options on the simulated backend, and unknown backends.
+func TestWireOptionValidation(t *testing.T) {
+	cl, err := tstorm.NewCluster(2, 4, 2000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := tstorm.NewRuntime(tstorm.TStormConfig(), cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := []tstorm.Option{
+		tstorm.WithGamma(0),
+		tstorm.WithMonitorPeriod(0),
+		tstorm.WithGeneratePeriod(-time.Second),
+		tstorm.WithAckTimeout(0),
+		tstorm.WithMaxPending(-1),
+	}
+	for i, opt := range bad {
+		if _, err := tstorm.Wire(rt, opt); err == nil {
+			t.Errorf("bad option %d accepted", i)
+		}
+	}
+
+	// Live-only options must be rejected on the simulated backend.
+	if _, err := tstorm.Wire(rt, tstorm.WithAckTimeout(time.Second)); err == nil ||
+		!strings.Contains(err.Error(), "live backend only") {
+		t.Errorf("WithAckTimeout on Runtime: err = %v, want live-backend-only error", err)
+	}
+	if _, err := tstorm.Wire(rt, tstorm.WithMaxPending(10)); err == nil {
+		t.Error("WithMaxPending on Runtime accepted")
+	}
+
+	if _, err := tstorm.Wire(fakeBackend{}); err == nil {
+		t.Error("unknown backend accepted")
+	}
+}
+
+type fakeBackend struct{}
+
+func (fakeBackend) Topologies() []string     { return nil }
+func (fakeBackend) Cluster() *tstorm.Cluster { return nil }
+
+// TestStackLifecycleSim exercises the unified lifecycle on the simulated
+// backend: data flows into the DB, Forget removes it for good, Stop is
+// idempotent, and telemetry is refused.
+func TestStackLifecycleSim(t *testing.T) {
+	top := simpleTopology(t, "lifecycle")
+	cl, err := tstorm.NewCluster(2, 4, 2000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := tstorm.NewRuntime(tstorm.TStormConfig(), cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial, err := tstorm.InitialSchedule(top, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen int64
+	app := &tstorm.App{
+		Topology: top,
+		Spouts:   map[string]func() tstorm.Spout{"src": func() tstorm.Spout { return &facadeSpout{} }},
+		Bolts:    map[string]func() tstorm.Bolt{"work": func() tstorm.Bolt { return facadeBolt{seen: &seen} }},
+	}
+	if err := rt.Submit(app, initial); err != nil {
+		t.Fatal(err)
+	}
+	stack, err := tstorm.Wire(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stack.Live() {
+		t.Fatal("simulated stack claims to be live")
+	}
+	if _, err := stack.StartTelemetry("127.0.0.1:0"); err == nil {
+		t.Error("StartTelemetry on the simulated backend should fail")
+	}
+
+	if err := rt.RunFor(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if !stack.DB.HasData() {
+		t.Fatal("no load data after two monitor periods")
+	}
+
+	stack.Forget("lifecycle")
+	if stack.DB.HasData() {
+		t.Fatal("Forget left load records behind")
+	}
+	// Later sampling rounds must not resurrect the forgotten topology.
+	if err := rt.RunFor(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if stack.DB.HasData() {
+		t.Fatal("sampling resurrected a forgotten topology")
+	}
+
+	if err := stack.Stop(); err != nil {
+		t.Fatalf("first Stop: %v", err)
+	}
+	if err := stack.Stop(); err != nil {
+		t.Fatalf("second Stop: %v", err)
+	}
+}
+
+// TestStackLifecycleLive exercises the same lifecycle on the live backend,
+// including the live-only options flowing into the engine and telemetry.
+func TestStackLifecycleLive(t *testing.T) {
+	top := simpleTopology(t, "lifecycle")
+	cl, err := tstorm.NewCluster(2, 4, 2000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := tstorm.NewLiveEngine(tstorm.DefaultLiveConfig(), cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial, err := tstorm.InitialSchedule(top, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen int64
+	app := &tstorm.App{
+		Topology:      top,
+		Spouts:        map[string]func() tstorm.Spout{"src": func() tstorm.Spout { return &facadeSpout{} }},
+		Bolts:         map[string]func() tstorm.Bolt{"work": func() tstorm.Bolt { return facadeBolt{seen: &seen} }},
+		SpoutInterval: map[string]time.Duration{"src": time.Millisecond},
+	}
+	if err := eng.Submit(app, initial); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Stop()
+
+	stack, err := tstorm.Wire(eng,
+		tstorm.WithMonitorPeriod(30*time.Millisecond),
+		tstorm.WithGeneratePeriod(time.Hour),
+		tstorm.WithAckTimeout(7*time.Second),
+		tstorm.WithMaxPending(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stack.Live() {
+		t.Fatal("live stack claims to be simulated")
+	}
+	if stack.Supervisor == nil {
+		t.Fatal("live stack has no supervisor")
+	}
+	if got := eng.AckTimeout(); got != 7*time.Second {
+		t.Errorf("AckTimeout = %v, want 7s", got)
+	}
+	if got := eng.MaxPending(); got != 64 {
+		t.Errorf("MaxPending = %d, want 64", got)
+	}
+
+	srv, err := stack.StartTelemetry("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("StartTelemetry: %v", err)
+	}
+	defer srv.Close()
+
+	pollUntil(t, 5*time.Second, "load data", stack.DB.HasData)
+
+	stack.Forget("lifecycle")
+	if stack.DB.HasData() {
+		t.Fatal("Forget left load records behind")
+	}
+	// Several sampling rounds later the forgotten topology must stay gone.
+	time.Sleep(150 * time.Millisecond)
+	if stack.DB.HasData() {
+		t.Fatal("sampling resurrected a forgotten topology")
+	}
+
+	if err := stack.Stop(); err != nil {
+		t.Fatalf("first Stop: %v", err)
+	}
+	if err := stack.Stop(); err != nil {
+		t.Fatalf("second Stop: %v", err)
+	}
+
+	// The deprecated shim still wires a live stack.
+	legacy, err := tstorm.WireLive(eng, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !legacy.Live() {
+		t.Fatal("WireLive did not produce a live stack")
+	}
+	if err := legacy.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}

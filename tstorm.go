@@ -8,15 +8,18 @@
 // scheduler, and the smooth re-assignment machinery of §IV-D.
 //
 // Two execution backends share that scheduling stack: the deterministic
-// simulation (Runtime + Wire) and a live wall-clock engine that runs the
-// same Apps on real goroutines with bounded-channel queues (LiveEngine +
-// WireLive), where node boundaries are emulated by serialization and copy
-// cost so traffic-aware placement measurably raises real throughput.
+// simulation (Runtime) and a live wall-clock engine that runs the same
+// Apps on real goroutines with bounded-channel queues (LiveEngine), where
+// node boundaries are emulated by serialization and copy cost so
+// traffic-aware placement measurably raises real throughput. The live
+// engine additionally provides Storm's at-least-once reliability — acker
+// executors, spout timeout wheels, replays — plus fault injection
+// (CrashWorker, FailNode) and supervised restart.
 //
 // This root package is the public facade: it re-exports the main types
-// and provides Wire, which assembles the whole T-Storm stack in one call.
-// The examples/ directory shows complete programs; cmd/tstorm-bench
-// regenerates every figure of the paper's evaluation.
+// and provides Wire, which assembles the whole T-Storm stack over either
+// backend in one call. The examples/ directory shows complete programs;
+// cmd/tstorm-bench regenerates every figure of the paper's evaluation.
 //
 // A minimal session:
 //
@@ -30,12 +33,16 @@
 //	rt, _ := tstorm.NewRuntime(tstorm.TStormConfig(), cl)
 //	initial, _ := tstorm.InitialSchedule(top, cl)
 //	_ = rt.Submit(&tstorm.App{ /* code + costs */ }, initial)
-//	stack, _ := tstorm.Wire(rt, 1.5)
+//	stack, _ := tstorm.Wire(rt, tstorm.WithGamma(1.5))
 //	_ = rt.RunFor(10 * time.Minute)
-//	_ = stack
+//	_ = stack.Stop()
 package tstorm
 
 import (
+	"fmt"
+	"sync"
+	"time"
+
 	"tstorm/internal/cluster"
 	"tstorm/internal/core"
 	"tstorm/internal/engine"
@@ -137,6 +144,8 @@ type (
 	LiveGeneratorConfig = live.GeneratorConfig
 	// LiveTotals is a snapshot of the live engine's counters.
 	LiveTotals = live.Totals
+	// LiveSupervisor restarts crashed live executors with backoff.
+	LiveSupervisor = live.Supervisor
 )
 
 // DefaultLiveConfig returns the live engine's default configuration.
@@ -147,63 +156,17 @@ func NewLiveEngine(cfg LiveConfig, cl *Cluster) (*LiveEngine, error) {
 	return live.NewEngine(cfg, cl)
 }
 
-// LiveStack is the T-Storm scheduling architecture wired onto the live
-// runtime: the same load database and Algorithm 1 as Wire's Stack, fed by
-// wall-clock measurements instead of simulated ones.
-type LiveStack struct {
-	Engine    *LiveEngine
-	DB        *LoadDB
-	Monitor   *LiveMonitor
-	Generator *LiveGenerator
-}
+// LiveStack is the unified Stack.
+//
+// Deprecated: Wire returns one Stack type for both backends now.
+type LiveStack = Stack
 
-// WireLive assembles the T-Storm stack on a live engine: a wall-clock
-// monitor sampling every 20 s into an α=0.5 load DB and a schedule
-// generator running Algorithm 1 with the given γ every 300 s. Submit
-// topologies and Start the engine first.
+// WireLive assembles the T-Storm stack on a live engine.
+//
+// Deprecated: use Wire(eng, WithGamma(gamma)) — Wire accepts both
+// backends and returns the unified Stack.
 func WireLive(eng *LiveEngine, gamma float64) (*LiveStack, error) {
-	db := loaddb.New(0.5)
-	mon := live.StartMonitor(eng, db, live.DefaultMonitorPeriod)
-	gen, err := live.StartGenerator(eng, db, live.DefaultGeneratorConfig(), core.NewTrafficAware(gamma))
-	if err != nil {
-		mon.Stop()
-		return nil, err
-	}
-	return &LiveStack{Engine: eng, DB: db, Monitor: mon, Generator: gen}, nil
-}
-
-// StartTelemetry serves the stack's observability endpoints — Prometheus
-// text-format /metrics, /debug/placement, and /debug/trace (when the
-// engine was built with LiveConfig.Trace) — on addr (e.g. ":9090", or
-// "127.0.0.1:0" for an ephemeral port; read the bound address back with
-// Addr). Close the returned server when done.
-func (s *LiveStack) StartTelemetry(addr string) (*TelemetryServer, error) {
-	srv, err := telemetry.NewServer(telemetry.Config{
-		Engine:  s.Engine,
-		Monitor: s.Monitor,
-		Trace:   s.Engine.Trace(),
-	})
-	if err != nil {
-		return nil, err
-	}
-	if err := srv.Start(addr); err != nil {
-		return nil, err
-	}
-	return srv, nil
-}
-
-// Stop halts the live stack's periodic work (not the engine itself).
-func (s *LiveStack) Stop() {
-	s.Monitor.Stop()
-	s.Generator.Stop()
-}
-
-// Forget drops a dead topology's measurements from the live stack: the
-// monitor prunes its flow memory and stops reporting the topology's
-// executors, and the load database deletes its records — so later
-// sampling rounds cannot resurrect the keys.
-func (s *LiveStack) Forget(topo string) {
-	s.Monitor.Forget(topo)
+	return Wire(eng, WithGamma(gamma))
 }
 
 // Observability.
@@ -237,6 +200,10 @@ func NewTopology(name string, numWorkers int) *TopologyBuilder {
 	return topology.NewBuilder(name, numWorkers)
 }
 
+// BasePort is the first worker-slot port on every node (Storm's default
+// supervisor configuration).
+const BasePort = cluster.BasePort
+
 // NewCluster builds a cluster of n identical nodes (cores × coreMHz CPU,
 // slots worker slots each).
 func NewCluster(n, cores int, coreMHz float64, slots int) (*Cluster, error) {
@@ -257,6 +224,13 @@ func TStormConfig() Config { return engine.TStormConfig() }
 // NewTrafficAware returns Algorithm 1 with consolidation factor γ.
 func NewTrafficAware(gamma float64) *TrafficAware { return core.NewTrafficAware(gamma) }
 
+// Cycles converts a per-tuple processing duration on a core of the given
+// clock rate into CPU cycles, for use with ConstCost.
+func Cycles(d time.Duration, atMHz float64) float64 { return engine.Cycles(d, atMHz) }
+
+// ConstCost returns a CostFn charging a fixed cycle count per tuple.
+func ConstCost(cycles float64) CostFn { return engine.ConstCost(cycles) }
+
 // InitialSchedule computes T-Storm's modified initial placement for a
 // topology: min(N_u, nodes) workers, one per node.
 func InitialSchedule(top *Topology, cl *Cluster) (*Assignment, error) {
@@ -272,33 +246,262 @@ func DefaultSchedule(top *Topology, cl *Cluster) (*Assignment, error) {
 	})
 }
 
-// Stack is the wired T-Storm scheduling architecture of Fig. 4.
+// Backend is the execution-engine surface Wire schedules over. Both
+// backends satisfy it: the simulated *Runtime and the wall-clock
+// *LiveEngine.
+type Backend interface {
+	// Topologies lists the submitted topology names.
+	Topologies() []string
+	// Cluster returns the physical cluster the backend executes on.
+	Cluster() *Cluster
+}
+
+// Compile-time proof that both engines are Backends.
+var (
+	_ Backend = (*Runtime)(nil)
+	_ Backend = (*LiveEngine)(nil)
+)
+
+// Paper defaults (Table II): consolidation factor γ, the load-monitoring
+// period, and the schedule-generation period.
+const (
+	DefaultGamma          = 1.5
+	DefaultMonitorPeriod  = 20 * time.Second
+	DefaultGeneratePeriod = 300 * time.Second
+)
+
+// wireConfig collects Wire's options; zero fields mean Table II defaults.
+type wireConfig struct {
+	gamma          float64
+	monitorPeriod  time.Duration
+	generatePeriod time.Duration
+	ackTimeout     time.Duration // live only
+	maxPending     int           // live only; -1 = unset
+	err            error         // first invalid option
+}
+
+// Option configures Wire.
+type Option func(*wireConfig)
+
+// optErr records the first invalid option; Wire reports it.
+func (c *wireConfig) optErr(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+}
+
+// WithGamma sets Algorithm 1's consolidation factor γ (default 1.5).
+func WithGamma(gamma float64) Option {
+	return func(c *wireConfig) {
+		if gamma <= 0 {
+			c.optErr(fmt.Errorf("tstorm: WithGamma(%v): gamma must be positive", gamma))
+			return
+		}
+		c.gamma = gamma
+	}
+}
+
+// WithMonitorPeriod sets the load-monitoring period (default 20 s, the
+// paper's Table II).
+func WithMonitorPeriod(d time.Duration) Option {
+	return func(c *wireConfig) {
+		if d <= 0 {
+			c.optErr(fmt.Errorf("tstorm: WithMonitorPeriod(%v): period must be positive", d))
+			return
+		}
+		c.monitorPeriod = d
+	}
+}
+
+// WithGeneratePeriod sets the schedule-generation period (default 300 s,
+// the paper's Table II).
+func WithGeneratePeriod(d time.Duration) Option {
+	return func(c *wireConfig) {
+		if d <= 0 {
+			c.optErr(fmt.Errorf("tstorm: WithGeneratePeriod(%v): period must be positive", d))
+			return
+		}
+		c.generatePeriod = d
+	}
+}
+
+// WithAckTimeout sets the live engine's spout ack timeout — how long an
+// anchored root may stay un-acked before its spout fails it for replay.
+// Live backend only; Wire rejects it on the simulated Runtime, whose
+// timeout is Config.MessageTimeout at construction.
+func WithAckTimeout(d time.Duration) Option {
+	return func(c *wireConfig) {
+		if d <= 0 {
+			c.optErr(fmt.Errorf("tstorm: WithAckTimeout(%v): timeout must be positive", d))
+			return
+		}
+		c.ackTimeout = d
+	}
+}
+
+// WithMaxPending caps every live spout's outstanding un-acked roots
+// (engine-wide default; App.MaxPending overrides per spout, 0 lifts the
+// cap). Live backend only; Wire rejects it on the simulated Runtime,
+// which reads App.MaxPending directly.
+func WithMaxPending(n int) Option {
+	return func(c *wireConfig) {
+		if n < 0 {
+			c.optErr(fmt.Errorf("tstorm: WithMaxPending(%d): cap must be >= 0", n))
+			return
+		}
+		c.maxPending = n
+	}
+}
+
+// Stack is the wired T-Storm scheduling architecture of Fig. 4, over
+// either backend: load monitors sampling into an α=0.5 EWMA load DB and a
+// schedule generator running Algorithm 1. Exactly one backend's component
+// set is non-nil; the shared lifecycle (Stop, Forget, StartTelemetry)
+// works through the Stack itself.
 type Stack struct {
-	DB        *LoadDB
+	// DB is the load-information database both backends feed.
+	DB *LoadDB
+
+	// Simulated backend (nil on a live Stack).
 	Monitors  *MonitorFleet
 	Generator *Generator
 	Scheduler *CustomScheduler
+
+	// Live backend (nil on a simulated Stack).
+	Engine        *LiveEngine
+	Monitor       *LiveMonitor
+	LiveGenerator *LiveGenerator
+	// Supervisor restarts crashed live executors (CrashWorker/FailNode)
+	// with exponential backoff.
+	Supervisor *LiveSupervisor
+
+	stopOnce sync.Once
 }
 
-// Wire assembles the full T-Storm stack on a runtime: load monitors
-// sampling every 20 s into an α=0.5 load DB, a schedule generator running
-// Algorithm 1 with the given γ on the paper's periods, and the custom
-// scheduler fetching every 10 s.
-func Wire(rt *Runtime, gamma float64) (*Stack, error) {
+// Live reports which backend the stack drives.
+func (s *Stack) Live() bool { return s.Engine != nil }
+
+// Wire assembles the full T-Storm stack on a backend: load monitors
+// sampling every 20 s into an α=0.5 load DB and a schedule generator
+// running Algorithm 1 with γ=1.5 every 300 s (all Table II defaults,
+// overridable via options). On the simulated Runtime it also starts the
+// custom scheduler fetching every 10 s; on the live engine it also starts
+// the supervisor that restarts crashed workers. Submit topologies (and
+// Start the live engine) first.
+func Wire(backend Backend, opts ...Option) (*Stack, error) {
+	cfg := wireConfig{
+		gamma:          DefaultGamma,
+		monitorPeriod:  DefaultMonitorPeriod,
+		generatePeriod: DefaultGeneratePeriod,
+		maxPending:     -1,
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.err != nil {
+		return nil, cfg.err
+	}
+
 	db := loaddb.New(0.5)
-	fleet := monitor.Start(rt, db, monitor.DefaultPeriod)
-	gen, err := core.StartGenerator(rt, db, core.DefaultGeneratorConfig(), core.NewTrafficAware(gamma))
+	switch be := backend.(type) {
+	case *Runtime:
+		if cfg.ackTimeout != 0 || cfg.maxPending >= 0 {
+			return nil, fmt.Errorf("tstorm: WithAckTimeout/WithMaxPending apply to the live backend only (the simulated Runtime reads Config.MessageTimeout and App.MaxPending)")
+		}
+		fleet := monitor.Start(be, db, cfg.monitorPeriod)
+		gcfg := core.DefaultGeneratorConfig()
+		gcfg.GenerationPeriod = cfg.generatePeriod
+		gen, err := core.StartGenerator(be, db, gcfg, core.NewTrafficAware(cfg.gamma))
+		if err != nil {
+			fleet.Stop()
+			return nil, err
+		}
+		cs := core.StartCustomScheduler(be, core.DefaultFetchPeriod)
+		return &Stack{DB: db, Monitors: fleet, Generator: gen, Scheduler: cs}, nil
+
+	case *LiveEngine:
+		if cfg.ackTimeout > 0 {
+			be.SetAckTimeout(cfg.ackTimeout)
+		}
+		if cfg.maxPending >= 0 {
+			be.SetMaxPending(cfg.maxPending)
+		}
+		mon := live.StartMonitor(be, db, cfg.monitorPeriod)
+		lcfg := live.DefaultGeneratorConfig()
+		lcfg.Period = cfg.generatePeriod
+		gen, err := live.StartGenerator(be, db, lcfg, core.NewTrafficAware(cfg.gamma))
+		if err != nil {
+			mon.Stop()
+			return nil, err
+		}
+		sup := live.StartSupervisor(be, 0)
+		return &Stack{DB: db, Engine: be, Monitor: mon, LiveGenerator: gen, Supervisor: sup}, nil
+
+	default:
+		return nil, fmt.Errorf("tstorm: unsupported backend %T (want *tstorm.Runtime or *tstorm.LiveEngine)", backend)
+	}
+}
+
+// StartTelemetry serves the stack's observability endpoints — Prometheus
+// text-format /metrics, /debug/placement, and /debug/trace (when the
+// engine was built with LiveConfig.Trace) — on addr (e.g. ":9090", or
+// "127.0.0.1:0" for an ephemeral port; read the bound address back with
+// Addr). Close the returned server when done. Live backend only: the
+// simulated Runtime has no wall-clock to scrape against.
+func (s *Stack) StartTelemetry(addr string) (*TelemetryServer, error) {
+	if !s.Live() {
+		return nil, fmt.Errorf("tstorm: StartTelemetry requires the live backend")
+	}
+	srv, err := telemetry.NewServer(telemetry.Config{
+		Engine:  s.Engine,
+		Monitor: s.Monitor,
+		Trace:   s.Engine.Trace(),
+	})
 	if err != nil {
-		fleet.Stop()
 		return nil, err
 	}
-	cs := core.StartCustomScheduler(rt, core.DefaultFetchPeriod)
-	return &Stack{DB: db, Monitors: fleet, Generator: gen, Scheduler: cs}, nil
+	if err := srv.Start(addr); err != nil {
+		return nil, err
+	}
+	return srv, nil
 }
 
-// Stop halts the stack's periodic work.
-func (s *Stack) Stop() {
-	s.Monitors.Stop()
-	s.Generator.Stop()
-	s.Scheduler.Stop()
+// Forget drops a dead topology's measurements from the stack: the monitor
+// prunes its flow memory and stops reporting the topology's executors,
+// and the load database deletes its records — so later sampling rounds
+// cannot resurrect the keys. Works on both backends.
+func (s *Stack) Forget(topo string) {
+	if s.Live() {
+		s.Monitor.Forget(topo)
+		return
+	}
+	s.Monitors.Forget(topo)
+}
+
+// Stop halts the stack's periodic work — monitors, generator, and the
+// backend-specific daemons (custom scheduler or supervisor) — but not the
+// engine itself. It is idempotent: only the first call stops anything,
+// and every call returns nil.
+func (s *Stack) Stop() error {
+	s.stopOnce.Do(func() {
+		if s.Monitors != nil {
+			s.Monitors.Stop()
+		}
+		if s.Generator != nil {
+			s.Generator.Stop()
+		}
+		if s.Scheduler != nil {
+			s.Scheduler.Stop()
+		}
+		if s.Monitor != nil {
+			s.Monitor.Stop()
+		}
+		if s.LiveGenerator != nil {
+			s.LiveGenerator.Stop()
+		}
+		if s.Supervisor != nil {
+			s.Supervisor.Stop()
+		}
+	})
+	return nil
 }

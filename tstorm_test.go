@@ -60,7 +60,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if err := rt.Submit(app, initial); err != nil {
 		t.Fatal(err)
 	}
-	stack, err := tstorm.Wire(rt, 1.5)
+	stack, err := tstorm.Wire(rt, tstorm.WithGamma(1.5))
 	if err != nil {
 		t.Fatal(err)
 	}
