@@ -12,6 +12,8 @@
 # at-least-once conservation (every spout root acked or replayed).
 # The experiment package replays full paper figures, which is slow under
 # the race detector — hence the raised per-package timeout.
+# The shuffled pass reorders test execution within every package, catching
+# tests that only pass because an earlier test left state behind.
 set -eux
 cd "$(dirname "$0")"
 test -z "$(gofmt -l .)"
@@ -20,4 +22,5 @@ go vet ./...
 go test -race -count=1 -run 'TestRoutingSnapshotStress|TestRouteObservesSinglePlacement|TestEmissionsFlowWhileEngineLockHeld|TestMonitorStopConcurrent' ./internal/live
 go test -race -count=1 -run 'TestScrapeUnderChurnStress' ./internal/telemetry
 go test -race -count=2 -run 'TestChaos|TestReliabilityParityShape' ./internal/live
+go test -shuffle=on -count=1 ./...
 go test -race -timeout 30m ./...

@@ -6,11 +6,13 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sort"
 	"sync/atomic"
 	"time"
 
 	"tstorm/internal/cluster"
 	"tstorm/internal/core"
+	"tstorm/internal/decision"
 	"tstorm/internal/docstore"
 	"tstorm/internal/live"
 	"tstorm/internal/loaddb"
@@ -57,6 +59,48 @@ type telemetryOverhead struct {
 	ScrapeHz      float64 `json:"scrape_hz"`
 }
 
+// decisionOverhead records the decision-recording on vs off throughput
+// comparison, measured inside a single steady-state tstorm run:
+// alternating back-to-back windows during which Generate runs at
+// GenerateHz through either a probe-less generator or one wired to a
+// decision.History, so every Algorithm 1 pass narrates itself (ranks,
+// per-slot rejections, predicted traffic). Both sides pay the Schedule
+// cost; only the recording differs, and at GenerateHz it runs thousands
+// of times more often than production's one pass per period. Single-run
+// windows cancel the machine drift that separate processes can't.
+type decisionOverhead struct {
+	Scheduler string `json:"scheduler"`
+	// Off/OnTuplesPerSec are medians across the window pairs.
+	OffTuplesPerSec float64 `json:"off_tuples_per_sec"`
+	OnTuplesPerSec  float64 `json:"on_tuples_per_sec"`
+	// DeltaFraction is the median of per-pair on/off window ratios,
+	// minus one — adjacent windows share the engine's state, so the
+	// ratio isolates the recording cost.
+	DeltaFraction float64 `json:"delta_fraction"`
+	// GenerateHz is the forced Generate rate during each window.
+	GenerateHz  float64 `json:"generate_hz"`
+	HistorySize int     `json:"history_size"`
+	// SampleReport summarizes the recorded round, proving the history
+	// captured a real decision during the on run.
+	SampleReport *decisionSummary `json:"sample_report,omitempty"`
+}
+
+// decisionSummary is the compact form of a decision.Report for the
+// benchmark document (the full per-executor explanation lives behind
+// /debug/scheduler and `tstorm-sched explain`).
+type decisionSummary struct {
+	Round           int64   `json:"round"`
+	Algorithm       string  `json:"algorithm"`
+	Executors       int     `json:"executors"`
+	NodesUsed       int     `json:"nodes_used"`
+	PredictedBefore float64 `json:"predicted_before"`
+	PredictedAfter  float64 `json:"predicted_after"`
+	Moved           int     `json:"moved"`
+	Relaxations     int     `json:"relaxations"`
+	Applied         bool    `json:"applied"`
+	DurationMs      float64 `json:"duration_ms"`
+}
+
 // recoveryRun records the kill-a-worker phase: a reliable (at-least-once)
 // run where one bolt-hosting worker is crashed mid-stream and the
 // supervisor restarts it. RecoveryMs is crash-to-90%-of-pre-crash
@@ -86,6 +130,8 @@ type liveReport struct {
 	Recovery *recoveryRun `json:"recovery,omitempty"`
 	// Telemetry is the scrape-overhead comparison (nil without -json).
 	Telemetry *telemetryOverhead `json:"telemetry_overhead,omitempty"`
+	// Decision is the decision-recording overhead comparison.
+	Decision *decisionOverhead `json:"decision_overhead,omitempty"`
 	// LockContentionNote records how the emission path synchronizes, with
 	// the pre-snapshot baseline for comparison.
 	LockContentionNote string `json:"lock_contention_note"`
@@ -118,7 +164,7 @@ func runLive(duration time.Duration, seed uint64, jsonPath, telemetryAddr string
 
 	var runs []liveRun
 	for _, sched := range []string{"default", "tstorm"} {
-		run, err := liveOnce(sched, duration, seed, telemetryAddr, 0)
+		run, err := liveOnce(sched, duration, seed, telemetryAddr, 0, nil)
 		if err != nil {
 			return fmt.Errorf("live %s run: %w", sched, err)
 		}
@@ -156,11 +202,11 @@ func runLive(duration time.Duration, seed uint64, jsonPath, telemetryAddr string
 	// separate runs can get — comparing against the benchmark's first run
 	// would mostly measure run-ordering effects.
 	const scrapeHz = 1.0
-	offRun, err := liveOnce("default", duration, seed, "", 0)
+	offRun, err := liveOnce("default", duration, seed, "", 0, nil)
 	if err != nil {
 		return fmt.Errorf("live telemetry-off run: %w", err)
 	}
-	onRun, err := liveOnce("default", duration, seed, "127.0.0.1:0", scrapeHz)
+	onRun, err := liveOnce("default", duration, seed, "127.0.0.1:0", scrapeHz, nil)
 	if err != nil {
 		return fmt.Errorf("live telemetry-on run: %w", err)
 	}
@@ -177,6 +223,20 @@ func runLive(duration time.Duration, seed uint64, jsonPath, telemetryAddr string
 		report.Telemetry.OffTuplesPerSec, report.Telemetry.OnTuplesPerSec,
 		100*report.Telemetry.DeltaFraction)
 
+	// Decision-recording overhead: alternating windows inside one
+	// steady-state tstorm run (see decisionOverhead).
+	dec, err := runDecisionOverhead(seed)
+	if err != nil {
+		return fmt.Errorf("live decision-overhead run: %w", err)
+	}
+	report.Decision = &dec
+	fmt.Printf("decision-recording overhead (%g Hz Generate, alternating in-run windows): %.0f → %.0f tuples/s (%+.1f%%)\n",
+		dec.GenerateHz, dec.OffTuplesPerSec, dec.OnTuplesPerSec, 100*dec.DeltaFraction)
+	if s := report.Decision.SampleReport; s != nil {
+		fmt.Printf("sample decision: algo=%s execs=%d nodes=%d inter-node %.0f -> %.0f tuples/s moved=%d in %.2f ms\n",
+			s.Algorithm, s.Executors, s.NodesUsed, s.PredictedBefore, s.PredictedAfter, s.Moved, s.DurationMs)
+	}
+
 	if jsonPath != "" {
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
@@ -188,6 +248,17 @@ func runLive(duration time.Duration, seed uint64, jsonPath, telemetryAddr string
 		fmt.Printf("wrote %s\n", jsonPath)
 	}
 	return nil
+}
+
+// median returns the middle value of xs (mean of the middle two when
+// even); xs must be non-empty and is sorted in place.
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	n := len(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
 }
 
 // peakPoller samples the engine's deepest input queue on a short interval
@@ -248,8 +319,10 @@ func scrapeLoop(url string, hz float64, stop <-chan struct{}) {
 
 // liveOnce measures one scheduler configuration. telemetryAddr, when
 // non-empty, serves the telemetry endpoints for the run's duration;
-// scrapeHz > 0 additionally polls /metrics at that rate.
-func liveOnce(sched string, measure time.Duration, seed uint64, telemetryAddr string, scrapeHz float64) (liveRun, error) {
+// scrapeHz > 0 additionally polls /metrics at that rate; hist, when
+// non-nil, records every scheduling round's decision report (tstorm
+// runs only — the baselines never invoke the generator).
+func liveOnce(sched string, measure time.Duration, seed uint64, telemetryAddr string, scrapeHz float64, hist *decision.History) (liveRun, error) {
 	cl, err := cluster.Uniform(4, 4, 2000, 4)
 	if err != nil {
 		return liveRun{}, err
@@ -298,6 +371,7 @@ func liveOnce(sched string, measure time.Duration, seed uint64, telemetryAddr st
 			Period:               time.Hour, // one forced reschedule below
 			CapacityFraction:     0.9,
 			ImprovementThreshold: 0.10,
+			History:              hist,
 		}, core.NewTrafficAware(1.5))
 		if err != nil {
 			return liveRun{}, err
@@ -372,6 +446,154 @@ func liveOnce(sched string, measure time.Duration, seed uint64, telemetryAddr st
 		Migrations:        eng.Totals().Migrations,
 		Phases:            []livePhase{warmup, measured},
 	}, nil
+}
+
+// runDecisionOverhead measures what decision recording costs the live
+// pipeline. One tstorm-scheduled self-fed Word Count reaches steady
+// state (including the real recorded reschedule, which becomes the
+// sample report); then throughput is measured over alternating windows
+// during which Generate is forced at generateHz through a probe-less
+// generator ("off") or one wired to a decision.History ("on"). The
+// improvement threshold is set so none of the forced rounds re-applies.
+func runDecisionOverhead(seed uint64) (decisionOverhead, error) {
+	const (
+		historySize = 16
+		generateHz  = 20.0
+		window      = time.Second
+		pairs       = 5
+	)
+	cl, err := cluster.Uniform(4, 4, 2000, 4)
+	if err != nil {
+		return decisionOverhead{}, err
+	}
+	wcfg := workloads.DefaultSelfFedWordCountConfig()
+	wcfg.Sink = docstore.NewStore()
+	app, err := workloads.NewSelfFedWordCount(wcfg)
+	if err != nil {
+		return decisionOverhead{}, err
+	}
+	in := scheduler.NewInput([]*topology.Topology{app.Topology}, cl, nil, 0)
+	initial, err := scheduler.TStormInitial{}.Schedule(in)
+	if err != nil {
+		return decisionOverhead{}, err
+	}
+	lcfg := live.DefaultConfig()
+	lcfg.Seed = seed
+	eng, err := live.NewEngine(lcfg, cl)
+	if err != nil {
+		return decisionOverhead{}, err
+	}
+	if err := eng.Submit(app, initial); err != nil {
+		return decisionOverhead{}, err
+	}
+	if err := eng.Start(); err != nil {
+		return decisionOverhead{}, err
+	}
+	defer eng.Stop()
+
+	const monitorPeriod = 250 * time.Millisecond
+	db := loaddb.New(0.5)
+	mon := live.StartMonitor(eng, db, monitorPeriod)
+	defer mon.Stop()
+	hist := decision.NewHistory(historySize)
+	// Identical generators — the near-1 threshold means the forced
+	// rounds below never re-apply — except genOn records into the
+	// history.
+	gcfg := live.GeneratorConfig{
+		Period:               time.Hour,
+		CapacityFraction:     0.9,
+		ImprovementThreshold: 0.99,
+	}
+	genOff, err := live.StartGenerator(eng, db, gcfg, core.NewTrafficAware(1.5))
+	if err != nil {
+		return decisionOverhead{}, err
+	}
+	defer genOff.Stop()
+	gcfg.History = hist
+	genOn, err := live.StartGenerator(eng, db, gcfg, core.NewTrafficAware(1.5))
+	if err != nil {
+		return decisionOverhead{}, err
+	}
+	defer genOn.Stop()
+
+	// The real reschedule — recorded, so it becomes the sample report.
+	deadline := time.Now().Add(10 * time.Second)
+	for mon.Samples() < 4 && time.Now().Before(deadline) {
+		time.Sleep(monitorPeriod / 5)
+	}
+	genOn.Reschedule()
+	// Capture the sample now: the forced rounds below will rotate the
+	// reschedule's report out of the ring.
+	var sample *decisionSummary
+	if rep, ok := hist.Last(); ok {
+		sample = summarize(&rep)
+	}
+	time.Sleep(lcfg.SpoutHaltDelay + time.Second)
+
+	// measure runs one window, forcing Generate on g at generateHz, and
+	// returns the engine's throughput over it.
+	measure := func(g *live.Generator) float64 {
+		tk := time.NewTicker(time.Duration(float64(time.Second) / generateHz))
+		defer tk.Stop()
+		end := time.NewTimer(window)
+		defer end.Stop()
+		t0 := eng.Totals()
+		start := time.Now()
+		for {
+			select {
+			case <-tk.C:
+				g.Generate()
+			case <-end.C:
+				return float64(eng.Totals().Sub(t0).Processed) / time.Since(start).Seconds()
+			}
+		}
+	}
+
+	var offRates, onRates, pairRatios []float64
+	for i := 0; i < pairs; i++ {
+		var off, on float64
+		if i%2 == 0 {
+			off = measure(genOff)
+			on = measure(genOn)
+		} else {
+			on = measure(genOn)
+			off = measure(genOff)
+		}
+		offRates = append(offRates, off)
+		onRates = append(onRates, on)
+		if off > 0 {
+			pairRatios = append(pairRatios, on/off)
+		}
+	}
+
+	dec := decisionOverhead{
+		Scheduler:       "tstorm",
+		OffTuplesPerSec: median(offRates),
+		OnTuplesPerSec:  median(onRates),
+		GenerateHz:      generateHz,
+		HistorySize:     historySize,
+	}
+	if len(pairRatios) > 0 {
+		dec.DeltaFraction = median(pairRatios) - 1
+	}
+	dec.SampleReport = sample
+	return dec, nil
+}
+
+// summarize compacts a decision report for the benchmark document.
+func summarize(rep *decision.Report) *decisionSummary {
+	return &decisionSummary{
+		Round:           rep.Round,
+		Algorithm:       rep.Algorithm,
+		Executors:       rep.Executors,
+		NodesUsed:       rep.NodesUsed,
+		PredictedBefore: rep.PredictedBefore,
+		PredictedAfter:  rep.PredictedAfter,
+		Moved:           rep.Moved,
+		Relaxations:     rep.Relaxations,
+		Applied:         rep.Applied,
+		DurationMs:      float64(rep.Duration) / float64(time.Millisecond),
+	}
 }
 
 // runRecovery runs the reliable self-fed Word Count, crashes one

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tstorm/internal/cluster"
+	"tstorm/internal/core"
+	"tstorm/internal/decision"
+	"tstorm/internal/loaddb"
+	"tstorm/internal/scheduler"
+	"tstorm/internal/topology"
+)
+
+// runExplain replays Algorithm 1 offline with the decision probe attached
+// and prints every placement: the executor's traffic rank, the winning
+// slot with its co-location gain, and each rejected candidate with the
+// constraint that rejected it. The load snapshot is either synthesized
+// (like the comparison table) or read from a file captured from a live
+// stack's /debug/traffic endpoint.
+func runExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	workload := fs.String("workload", "wordcount", "workload: throughput | wordcount | selffed | logstream")
+	gamma := fs.Float64("gamma", 1.7, "consolidation factor γ")
+	nodes := fs.Int("nodes", 10, "cluster size")
+	rate := fs.Float64("rate", 150, "assumed input rate (lines/s) when synthesizing load")
+	capacity := fs.Float64("capacity", 0.9, "capacity fraction C_k / nominal node capacity")
+	snapshot := fs.String("snapshot", "", "JSON traffic snapshot captured from /debug/traffic (default: synthesize)")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: tstorm-sched explain [-workload W] [-gamma G] [-nodes N] [-rate R] [-capacity C] [-snapshot FILE]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	app, err := buildApp(*workload)
+	if err != nil {
+		return err
+	}
+	top := app.Topology
+	cl, err := cluster.Uniform(*nodes, 4, 2000, 4)
+	if err != nil {
+		return err
+	}
+	var snap *loaddb.Snapshot
+	if *snapshot != "" {
+		snap, err = loadSnapshotFile(*snapshot)
+		if err != nil {
+			return err
+		}
+	} else {
+		snap = synthesizeLoad(app, *rate).Snapshot()
+	}
+
+	probe := decision.NewBuilder()
+	in := &scheduler.Input{
+		Topologies:       []*topology.Topology{top},
+		Cluster:          cl,
+		Load:             snap,
+		CapacityFraction: *capacity,
+		Probe:            probe,
+	}
+	algo := core.NewTrafficAware(*gamma)
+	if _, err := algo.Schedule(in); err != nil {
+		return err
+	}
+	printReport(probe.Report())
+	return nil
+}
+
+// loadSnapshotFile reads a traffic snapshot: either the /debug/traffic
+// response document (its "current" field) or a bare snapshot object.
+func loadSnapshotFile(path string) (*loaddb.Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc struct {
+		Current *decision.TrafficSnapshot `json:"current"`
+	}
+	if err := json.Unmarshal(data, &doc); err == nil && doc.Current != nil {
+		return doc.Current.LoadSnapshot(), nil
+	}
+	var ts decision.TrafficSnapshot
+	if err := json.Unmarshal(data, &ts); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if len(ts.ExecLoad) == 0 && len(ts.Flows) == 0 {
+		return nil, fmt.Errorf("parse %s: no exec_load or flows (want /debug/traffic output)", path)
+	}
+	return ts.LoadSnapshot(), nil
+}
+
+func printReport(rep *decision.Report) {
+	fmt.Printf("algorithm %s: %d executors over %d nodes (%d used); γ=%g C_k=%.0f%% count-cap=%.1f\n",
+		rep.Algorithm, rep.Executors, rep.Nodes, rep.NodesUsed,
+		rep.Gamma, 100*rep.CapacityFraction, rep.CountCap)
+	fmt.Printf("predicted inter-node traffic %.0f tuples/s; %d relaxations; decided in %s\n\n",
+		rep.PredictedAfter, rep.Relaxations, rep.Duration.Round(10*time.Microsecond))
+	fmt.Printf("%4s  %-24s  %10s  %9s  %-14s  %10s\n",
+		"rank", "executor", "traffic/s", "load MHz", "slot", "gain")
+	for _, p := range rep.Placements {
+		marks := ""
+		if p.RelaxedCount {
+			marks += " [relaxed count]"
+		}
+		if p.RelaxedCapacity {
+			marks += " [relaxed capacity]"
+		}
+		fmt.Printf("%4d  %-24s  %10.1f  %9.1f  %-14s  %10.1f%s\n",
+			p.Rank, p.Executor, p.Traffic, p.Load, p.Slot, p.Gain, marks)
+		if rejected := describeRejections(p.Options); rejected != "" {
+			fmt.Printf("      rejected: %s\n", rejected)
+		}
+	}
+}
+
+// describeRejections lists each infeasible candidate slot with the
+// constraint that rejected it, e.g. "node03:6700 (capacity)".
+func describeRejections(opts []decision.SlotOption) string {
+	var parts []string
+	for _, o := range opts {
+		if o.Rejected == "" {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s (%s)", o.Slot, o.Rejected))
+	}
+	return strings.Join(parts, ", ")
+}

@@ -7,6 +7,14 @@
 // Usage:
 //
 //	tstorm-sched -workload logstream -gamma 1.7 -nodes 10 [-rate 220]
+//	tstorm-sched explain [-workload W] [-gamma G] [-snapshot traffic.json]
+//
+// The explain subcommand replays Algorithm 1 with the decision probe
+// attached and prints the per-executor placement table: traffic rank,
+// winning slot and co-location gain, and every rejected candidate with
+// the constraint (slot / capacity / count) that rejected it. Feed it a
+// snapshot saved from a live stack's /debug/traffic endpoint to explain
+// a real scheduling round offline.
 package main
 
 import (
@@ -27,7 +35,14 @@ import (
 )
 
 func main() {
-	workload := flag.String("workload", "wordcount", "workload: throughput | wordcount | logstream")
+	if len(os.Args) > 1 && os.Args[1] == "explain" {
+		if err := runExplain(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "tstorm-sched:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	workload := flag.String("workload", "wordcount", "workload: throughput | wordcount | selffed | logstream")
 	gamma := flag.Float64("gamma", 1.7, "consolidation factor γ for the tstorm algorithm")
 	nodes := flag.Int("nodes", 10, "cluster size")
 	rate := flag.Float64("rate", 150, "assumed input rate (lines/s) for the synthetic load snapshot")
@@ -105,6 +120,10 @@ func buildApp(workload string) (*engine.App, error) {
 		cfg := workloads.DefaultWordCountConfig()
 		cfg.Queue, cfg.Sink = queue, sink
 		return workloads.NewWordCount(cfg)
+	case "selffed":
+		cfg := workloads.DefaultSelfFedWordCountConfig()
+		cfg.Sink = sink
+		return workloads.NewSelfFedWordCount(cfg)
 	case "logstream":
 		cfg := workloads.DefaultLogStreamConfig()
 		cfg.Queue, cfg.Sink = queue, sink

@@ -7,8 +7,9 @@
 // executors. The program prints measured throughput before and after the
 // reschedule — real tuples per second, not simulated ones — and serves the
 // telemetry endpoints (/metrics, /debug/placement, /debug/trace) while it
-// runs, printing the reschedule's trace timeline and a sample scrape at
-// the end.
+// runs, printing the reschedule's trace timeline, the scheduler's own
+// decision report (/debug/scheduler, kept by WithDecisionHistory), and a
+// sample scrape at the end.
 //
 //	go run ./examples/live [-telemetry 127.0.0.1:0]
 package main
@@ -80,7 +81,8 @@ func main() {
 	// scheduling pass below is forced manually.
 	stack, err := tstorm.Wire(eng,
 		tstorm.WithMonitorPeriod(250*time.Millisecond),
-		tstorm.WithGeneratePeriod(time.Hour))
+		tstorm.WithGeneratePeriod(time.Hour),
+		tstorm.WithDecisionHistory(8))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -93,7 +95,7 @@ func main() {
 	defer srv.Close()
 
 	fmt.Println("live Word Count on 4 emulated nodes, real goroutine executors")
-	fmt.Printf("  telemetry: http://%s/metrics  /debug/placement  /debug/trace\n", srv.Addr())
+	fmt.Printf("  telemetry: http://%s/metrics  /debug/placement  /debug/trace  /debug/scheduler\n", srv.Addr())
 
 	measure := func(label string) tstorm.LiveTotals {
 		time.Sleep(time.Second) // settle
@@ -143,6 +145,21 @@ func main() {
 			continue // sampling rounds drown out the migration story here
 		}
 		fmt.Println("    " + line)
+	}
+
+	// The scheduler's own account of the round: every Algorithm 1 pass is
+	// retained by WithDecisionHistory and served at /debug/scheduler.
+	decisions, err := fetch(srv.Addr(), "/debug/scheduler?format=text")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n  decision timeline from /debug/scheduler:")
+	for _, line := range strings.Split(strings.TrimSpace(decisions), "\n") {
+		fmt.Println("    " + line)
+	}
+	if rep, ok := stack.Decisions.Last(); ok {
+		fmt.Printf("  last round explained: %d executors on %d nodes, predicted inter-node %.0f -> %.0f tuples/s, %d moved\n",
+			len(rep.Placements), rep.NodesUsed, rep.PredictedBefore, rep.PredictedAfter, rep.Moved)
 	}
 
 	scrape, err := fetch(srv.Addr(), "/metrics")

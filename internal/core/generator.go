@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"tstorm/internal/cluster"
+	"tstorm/internal/decision"
 	"tstorm/internal/engine"
 	"tstorm/internal/loaddb"
 	"tstorm/internal/scheduler"
@@ -38,6 +39,10 @@ type GeneratorConfig struct {
 	// CapacityFraction sets C_k as a fraction of physical node capacity
 	// (the paper's overload-prevention headroom).
 	CapacityFraction float64
+	// History, when non-nil, receives a decision report and a
+	// traffic-matrix snapshot for every generation — the scheduler
+	// decision trail behind /debug/scheduler.
+	History *decision.History
 }
 
 // DefaultGeneratorConfig matches the paper's Table II settings.
@@ -195,10 +200,24 @@ func (g *Generator) generate(force bool) bool {
 		app, _ := g.rt.App(name)
 		tops = append(tops, app.Topology)
 	}
-	in := scheduler.NewInput(tops, g.rt.Cluster(), g.db.Snapshot(), g.cfg.CapacityFraction)
+	snap := g.db.Snapshot()
+	in := scheduler.NewInput(tops, g.rt.Cluster(), snap, g.cfg.CapacityFraction)
 	// Failed nodes are off limits until they recover.
 	for _, down := range g.rt.DownNodes() {
 		in.OccupyNode(down)
+	}
+	if g.cfg.History != nil {
+		in.Probe = decision.NewBuilder()
+	}
+	// The incumbent assignment across all topologies, for the report's
+	// predicted-before objective and move count.
+	incumbent := cluster.NewAssignment(0)
+	for _, name := range topos {
+		if a, ok := g.rt.CurrentAssignment(name); ok {
+			for e, s := range a.Executors {
+				incumbent.Assign(e, s)
+			}
+		}
 	}
 	global, err := g.algo.Schedule(in)
 	if err != nil {
@@ -231,6 +250,16 @@ func (g *Generator) generate(force bool) bool {
 			g.emit(trace.ScheduleGenerated, name,
 				fmt.Sprintf("algo=%s nodes=%d", g.algo.Name(), part.NumUsedNodes()))
 		}
+	}
+	if h := g.cfg.History; h != nil && in.Probe != nil {
+		rep := in.Probe.Report()
+		if len(incumbent.Executors) > 0 {
+			rep.PredictedBefore = decision.InterNodeRate(incumbent, snap)
+		}
+		rep.Moved = decision.MovedExecutors(global, incumbent)
+		rep.Applied = changed
+		h.Add(rep)
+		h.RecordTraffic(time.Now(), snap)
 	}
 	return changed
 }

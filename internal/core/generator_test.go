@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"tstorm/internal/cluster"
+	"tstorm/internal/decision"
 	"tstorm/internal/engine"
 	"tstorm/internal/loaddb"
 	"tstorm/internal/monitor"
@@ -98,6 +99,82 @@ func pipelineStack(t *testing.T, gamma float64) (*engine.Runtime, *Generator, *C
 	}
 	cs := StartCustomScheduler(rt, DefaultFetchPeriod)
 	return rt, gen, cs, app
+}
+
+// TestSimGeneratorFeedsDecisionHistory runs the simulated stack with a
+// decision history attached: every generation must add a report with
+// per-executor placements (and candidate options, since the tstorm
+// algorithm runs), plus a traffic snapshot of what it decided on.
+func TestSimGeneratorFeedsDecisionHistory(t *testing.T) {
+	cl, err := cluster.Uniform(10, 4, 2000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := engine.NewRuntime(engine.TStormConfig(), cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := testApp(t)
+	initial, err := scheduler.RoundRobin{}.Schedule(&scheduler.Input{
+		Topologies: []*topology.Topology{app.Topology}, Cluster: cl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Submit(app, initial); err != nil {
+		t.Fatal(err)
+	}
+	db := loaddb.New(0.5)
+	monitor.Start(rt, db, 20*time.Second)
+	hist := decision.NewHistory(4)
+	gcfg := DefaultGeneratorConfig()
+	gcfg.GenerationPeriod = 100 * time.Second
+	gcfg.History = hist
+	gen, err := StartGenerator(rt, db, gcfg, NewTrafficAware(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	StartCustomScheduler(rt, DefaultFetchPeriod)
+	if err := rt.RunFor(400 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if gen.Generations() == 0 {
+		t.Fatal("generator never ran")
+	}
+	if got := hist.Rounds(); got != int64(gen.Generations()) {
+		t.Fatalf("history rounds %d != generations %d", got, gen.Generations())
+	}
+	reports := hist.Reports()
+	if len(reports) == 0 {
+		t.Fatal("no reports retained")
+	}
+	ne := app.Topology.NumExecutors()
+	for _, rep := range reports {
+		if rep.Algorithm != "tstorm" || rep.Executors != ne {
+			t.Fatalf("report header %q/%d, want tstorm/%d", rep.Algorithm, rep.Executors, ne)
+		}
+		if len(rep.Placements) != ne {
+			t.Fatalf("round %d has %d placements, want %d", rep.Round, len(rep.Placements), ne)
+		}
+		for _, p := range rep.Placements {
+			if len(p.Options) == 0 {
+				t.Fatalf("round %d placement %v has no candidate options", rep.Round, p.Executor)
+			}
+		}
+		// The incumbent placement existed on every round, so the predicted
+		// before value is always derivable.
+		if rep.PredictedBefore < 0 {
+			t.Fatalf("round %d has no predicted-before traffic", rep.Round)
+		}
+	}
+	if got := len(hist.TrafficHistory()); got == 0 || got > hist.Capacity() {
+		t.Fatalf("traffic history length %d, want within (0, %d]", got, hist.Capacity())
+	}
+	// The first generation replaces round-robin with T-Storm's placement:
+	// it must be applied, and its moves counted.
+	if hist.Moves() == 0 {
+		t.Fatal("no moves recorded despite rescheduling away from round-robin")
+	}
 }
 
 func TestEndToEndReschedulingImprovesLatencyAndConsolidates(t *testing.T) {

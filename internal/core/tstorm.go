@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"tstorm/internal/cluster"
+	"tstorm/internal/decision"
 	"tstorm/internal/loaddb"
 	"tstorm/internal/scheduler"
 	"tstorm/internal/topology"
@@ -141,7 +142,13 @@ func (t *TrafficAware) Schedule(in *scheduler.Input) (*cluster.Assignment, error
 		return node.CapacityMHz() * capFrac
 	}
 
-	for _, e := range execs {
+	probe := in.Probe
+	if probe != nil {
+		probe.Begin(t.Name(), ne, k)
+		probe.Policy(t.Gamma, capFrac, countCap)
+	}
+
+	for rank, e := range execs {
 		li := load.ExecLoad[e]
 		// The slot a topology must reuse per node, if any.
 		type candidate struct {
@@ -162,23 +169,38 @@ func (t *TrafficAware) Schedule(in *scheduler.Input) (*cluster.Assignment, error
 			gainCache[n] = g
 			return g
 		}
-		eval := func(relaxCount, relaxCapacity bool) (cluster.SlotID, bool) {
+		// classify reproduces eval's checks in order and names the first
+		// failing constraint — the probe's per-candidate verdict.
+		classify := func(s cluster.SlotID, relaxCount, relaxCapacity bool) decision.Constraint {
+			owner, owned := slotTopo[s]
+			if owned && owner != e.Topology {
+				return decision.RejectedSlot // slot belongs to another topology
+			}
+			ts := topoSlot[s.Node][e.Topology]
+			if ts != (cluster.SlotID{}) && ts != s {
+				return decision.RejectedSlot // constraint 1: one slot per topology per node
+			}
+			if !relaxCapacity && nodeLoad[s.Node]+li > capacityOf(s.Node) {
+				return decision.RejectedCapacity // constraint 2
+			}
+			if !relaxCount && float64(nodeCount[s.Node]+1) > countCap {
+				return decision.RejectedCount // constraint 3
+			}
+			return ""
+		}
+		var opts []decision.SlotOption
+		eval := func(relaxCount, relaxCapacity, record bool) (cluster.SlotID, bool) {
 			var best candidate
 			found := false
 			for _, s := range slots {
-				owner, owned := slotTopo[s]
-				if owned && owner != e.Topology {
-					continue // slot belongs to another topology
+				rejected := classify(s, relaxCount, relaxCapacity)
+				if record {
+					opts = append(opts, decision.SlotOption{
+						Slot: s, Gain: nodeGain(s.Node), Rejected: rejected,
+					})
 				}
-				ts := topoSlot[s.Node][e.Topology]
-				if ts != (cluster.SlotID{}) && ts != s {
-					continue // constraint 1: one slot per topology per node
-				}
-				if !relaxCapacity && nodeLoad[s.Node]+li > capacityOf(s.Node) {
-					continue // constraint 2
-				}
-				if !relaxCount && float64(nodeCount[s.Node]+1) > countCap {
-					continue // constraint 3
+				if rejected != "" {
+					continue
 				}
 				gain := nodeGain(s.Node)
 				if !found || gain > best.gain {
@@ -189,16 +211,37 @@ func (t *TrafficAware) Schedule(in *scheduler.Input) (*cluster.Assignment, error
 			return best.slot, found
 		}
 
-		slot, ok := eval(false, false)
+		slot, ok := eval(false, false, probe != nil)
+		relaxedCount, relaxedCapacity := false, false
 		if !ok {
 			t.LastStats.Relaxations++
-			slot, ok = eval(true, false)
+			relaxedCount = true
+			slot, ok = eval(true, false, false)
 		}
 		if !ok {
-			slot, ok = eval(true, true)
+			relaxedCapacity = true
+			slot, ok = eval(true, true, false)
 		}
 		if !ok {
 			return nil, fmt.Errorf("core: no slot available for executor %v", e)
+		}
+		if probe != nil {
+			for i := range opts {
+				if opts[i].Slot == slot {
+					opts[i].Chosen = true
+				}
+			}
+			probe.Place(decision.Placement{
+				Executor:        e,
+				Rank:            rank,
+				Traffic:         totalTraffic[e],
+				Load:            li,
+				Slot:            slot,
+				Gain:            nodeGain(slot.Node),
+				RelaxedCount:    relaxedCount,
+				RelaxedCapacity: relaxedCapacity,
+				Options:         opts,
+			})
 		}
 		a.Assign(e, slot)
 		nodeLoad[slot.Node] += li
@@ -213,6 +256,9 @@ func (t *TrafficAware) Schedule(in *scheduler.Input) (*cluster.Assignment, error
 
 	t.LastStats.NodesUsed = a.NumUsedNodes()
 	t.LastStats.InterNodeTraffic = InterNodeTraffic(a, load)
+	if probe != nil {
+		probe.Finish(a, load)
+	}
 	return a, nil
 }
 
@@ -220,15 +266,7 @@ func (t *TrafficAware) Schedule(in *scheduler.Input) (*cluster.Assignment, error
 // problem: the total traffic rate crossing node boundaries under the
 // given assignment.
 func InterNodeTraffic(a *cluster.Assignment, load *loaddb.Snapshot) float64 {
-	total := 0.0
-	for _, f := range load.Flows {
-		sa, okA := a.Slot(f.From)
-		sb, okB := a.Slot(f.To)
-		if okA && okB && sa.Node != sb.Node {
-			total += f.Rate
-		}
-	}
-	return total
+	return decision.InterNodeRate(a, load)
 }
 
 // InterProcessTraffic computes the traffic between distinct slots on the

@@ -1,0 +1,193 @@
+package decision
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"tstorm/internal/cluster"
+	"tstorm/internal/loaddb"
+	"tstorm/internal/topology"
+)
+
+func exec(comp string, i int) topology.ExecutorID {
+	return topology.ExecutorID{Topology: "t", Component: comp, Index: i}
+}
+
+func slot(node string, port int) cluster.SlotID {
+	return cluster.SlotID{Node: cluster.NodeID(node), Port: port}
+}
+
+func TestBuilderReportLifecycle(t *testing.T) {
+	b := NewBuilder()
+	b.Begin("tstorm", 2, 2)
+	b.Policy(1.5, 0.9, 3)
+	a := cluster.NewAssignment(0)
+	a.Assign(exec("s", 0), slot("n1", 6700))
+	a.Assign(exec("b", 0), slot("n2", 6700))
+	b.Place(Placement{Executor: exec("s", 0), Rank: 0, Slot: slot("n1", 6700)})
+	b.Place(Placement{Executor: exec("b", 0), Rank: 1, Slot: slot("n2", 6700), RelaxedCount: true})
+	load := &loaddb.Snapshot{Flows: []loaddb.Flow{{From: exec("s", 0), To: exec("b", 0), Rate: 40}}}
+
+	rep := b.Finish(a, load)
+	if rep.Algorithm != "tstorm" || rep.Executors != 2 || rep.Nodes != 2 {
+		t.Fatalf("header = %+v", rep)
+	}
+	if rep.Gamma != 1.5 || rep.CapacityFraction != 0.9 || rep.CountCap != 3 {
+		t.Fatalf("policy = %+v", rep)
+	}
+	if rep.NodesUsed != 2 || rep.PredictedAfter != 40 || rep.Relaxations != 1 {
+		t.Fatalf("derived fields = %+v", rep)
+	}
+	if rep.Duration <= 0 {
+		t.Fatalf("Duration = %v, want > 0", rep.Duration)
+	}
+	// Finish is idempotent and Report returns the same finished report.
+	if again := b.Finish(a, load); again != rep {
+		t.Fatal("second Finish returned a different report")
+	}
+	if b.Report() != rep {
+		t.Fatal("Report() differs from Finish result")
+	}
+}
+
+func TestInterNodeRateAndMovedExecutors(t *testing.T) {
+	a := cluster.NewAssignment(0)
+	a.Assign(exec("s", 0), slot("n1", 6700))
+	a.Assign(exec("b", 0), slot("n1", 6700))
+	a.Assign(exec("b", 1), slot("n2", 6700))
+	load := &loaddb.Snapshot{Flows: []loaddb.Flow{
+		{From: exec("s", 0), To: exec("b", 0), Rate: 10}, // intra-node
+		{From: exec("s", 0), To: exec("b", 1), Rate: 25}, // crosses
+		{From: exec("b", 1), To: exec("x", 0), Rate: 99}, // unplaced endpoint
+	}}
+	if got := InterNodeRate(a, load); got != 25 {
+		t.Fatalf("InterNodeRate = %v, want 25", got)
+	}
+	if got := InterNodeRate(a, nil); got != 0 {
+		t.Fatalf("InterNodeRate(nil load) = %v, want 0", got)
+	}
+
+	next := a.Clone()
+	next.Assign(exec("b", 1), slot("n1", 6700))   // moved
+	next.Assign(exec("new", 0), slot("n3", 6700)) // absent from cur
+	if got := MovedExecutors(next, a); got != 2 {
+		t.Fatalf("MovedExecutors = %v, want 2", got)
+	}
+	if got := MovedExecutors(a, a); got != 0 {
+		t.Fatalf("MovedExecutors(same) = %v, want 0", got)
+	}
+}
+
+func TestHistoryRingAndCounters(t *testing.T) {
+	h := NewHistory(2)
+	if h.Capacity() != 2 {
+		t.Fatalf("Capacity = %d", h.Capacity())
+	}
+	if _, ok := h.Last(); ok {
+		t.Fatal("empty history has a last report")
+	}
+	for i := 0; i < 3; i++ {
+		r := &Report{Moved: 2, Applied: i%2 == 0, Relaxations: 1, Duration: time.Millisecond}
+		h.Add(r)
+	}
+	reps := h.Reports()
+	if len(reps) != 2 {
+		t.Fatalf("ring holds %d, want 2", len(reps))
+	}
+	// Lifetime counters are not capped by the ring.
+	if h.Rounds() != 3 {
+		t.Fatalf("Rounds = %d, want 3", h.Rounds())
+	}
+	// Rounds 1 and 3 applied (2 moves each); round 2 skipped.
+	if h.Moves() != 4 {
+		t.Fatalf("Moves = %d, want 4", h.Moves())
+	}
+	if h.Relaxations() != 3 {
+		t.Fatalf("Relaxations = %d, want 3", h.Relaxations())
+	}
+	// Sequence numbers survive eviction: oldest retained is round 2.
+	if reps[0].Round != 2 || reps[1].Round != 3 {
+		t.Fatalf("retained rounds %d,%d, want 2,3", reps[0].Round, reps[1].Round)
+	}
+	if last, ok := h.Last(); !ok || last.Round != 3 {
+		t.Fatalf("Last = %+v ok=%v", last, ok)
+	}
+	if h.DurationHistogram().Count() != 3 {
+		t.Fatalf("duration histogram count = %d, want 3", h.DurationHistogram().Count())
+	}
+}
+
+func TestHistoryTrafficRing(t *testing.T) {
+	h := NewHistory(2)
+	at := time.Unix(100, 0)
+	for i := 0; i < 3; i++ {
+		s := &loaddb.Snapshot{ExecLoad: map[topology.ExecutorID]float64{exec("s", i): float64(i)}}
+		h.RecordTraffic(at.Add(time.Duration(i)*time.Second), s)
+	}
+	hist := h.TrafficHistory()
+	if len(hist) != 2 {
+		t.Fatalf("traffic ring holds %d, want 2", len(hist))
+	}
+	if hist[0].ExecLoad[0].Executor != exec("s", 1) || hist[1].ExecLoad[0].Executor != exec("s", 2) {
+		t.Fatalf("wrong snapshots retained: %+v", hist)
+	}
+}
+
+func TestReconcile(t *testing.T) {
+	h := NewHistory(4)
+	now := time.Unix(1000, 0)
+	if _, ok := h.Reconcile(0, now); ok {
+		t.Fatal("reconciled without a baseline")
+	}
+	h.SetBaseline(100, 5000, now)
+	if _, ok := h.Reconcile(5100, now.Add(10*time.Millisecond)); ok {
+		t.Fatal("reconciled inside the minimum window")
+	}
+	// 2000 tuples over 10 s = 200/s observed vs 100/s predicted → 0.5.
+	if ratio, ok := h.Reconcile(7000, now.Add(10*time.Second)); !ok || ratio != 0.5 {
+		t.Fatalf("ratio = %v ok=%v, want 0.5 true", ratio, ok)
+	}
+	// No observed traffic against a positive prediction: not meaningful.
+	if _, ok := h.Reconcile(5000, now.Add(10*time.Second)); ok {
+		t.Fatal("reconciled a zero observed rate against a positive prediction")
+	}
+	// Zero predicted and zero observed reconcile perfectly.
+	h.SetBaseline(0, 5000, now)
+	if ratio, ok := h.Reconcile(5000, now.Add(time.Second)); !ok || ratio != 1 {
+		t.Fatalf("zero/zero ratio = %v ok=%v, want 1 true", ratio, ok)
+	}
+}
+
+func TestTrafficSnapshotRoundTrip(t *testing.T) {
+	snap := &loaddb.Snapshot{
+		ExecLoad: map[topology.ExecutorID]float64{
+			exec("b", 1): 20,
+			exec("b", 0): 10,
+		},
+		Flows: []loaddb.Flow{{From: exec("s", 0), To: exec("b", 0), Rate: 7}},
+	}
+	ts := SnapshotOf(time.Unix(42, 0), snap)
+	// Loads are sorted by executor identity for stable JSON.
+	if ts.ExecLoad[0].Executor != exec("b", 0) || ts.ExecLoad[1].Executor != exec("b", 1) {
+		t.Fatalf("exec loads unsorted: %+v", ts.ExecLoad)
+	}
+	data, err := json.Marshal(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back TrafficSnapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	got := back.LoadSnapshot()
+	if got.ExecLoad[exec("b", 0)] != 10 || got.ExecLoad[exec("b", 1)] != 20 {
+		t.Fatalf("round-tripped loads = %+v", got.ExecLoad)
+	}
+	if len(got.Flows) != 1 || got.Flows[0].Rate != 7 {
+		t.Fatalf("round-tripped flows = %+v", got.Flows)
+	}
+	if empty := SnapshotOf(time.Unix(1, 0), nil); len(empty.ExecLoad) != 0 || len(empty.Flows) != 0 {
+		t.Fatalf("nil snapshot conversion = %+v", empty)
+	}
+}

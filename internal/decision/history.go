@@ -1,0 +1,246 @@
+package decision
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"tstorm/internal/loaddb"
+	"tstorm/internal/metrics"
+	"tstorm/internal/topology"
+)
+
+// DefaultCapacity is the report/snapshot ring size when none is given.
+const DefaultCapacity = 32
+
+// ExecLoadEntry is one executor's smoothed CPU workload in a
+// TrafficSnapshot — a slice instead of loaddb's map because struct map
+// keys do not survive JSON.
+type ExecLoadEntry struct {
+	Executor topology.ExecutorID `json:"executor"`
+	MHz      float64             `json:"mhz"`
+}
+
+// FlowEntry is one smoothed traffic-matrix entry of a TrafficSnapshot.
+type FlowEntry struct {
+	From topology.ExecutorID `json:"from"`
+	To   topology.ExecutorID `json:"to"`
+	Rate float64             `json:"rate"`
+}
+
+// TrafficSnapshot is a JSON-friendly copy of one loaddb snapshot at a
+// point in time — the unit of the /debug/traffic history ring and the
+// input format of `tstorm-sched explain`.
+type TrafficSnapshot struct {
+	At       time.Time       `json:"at"`
+	ExecLoad []ExecLoadEntry `json:"exec_load"`
+	Flows    []FlowEntry     `json:"flows"`
+}
+
+// SnapshotOf converts a loaddb snapshot, preserving its deterministic
+// flow order and sorting the executor loads by identity.
+func SnapshotOf(at time.Time, s *loaddb.Snapshot) TrafficSnapshot {
+	out := TrafficSnapshot{At: at}
+	if s == nil {
+		return out
+	}
+	out.ExecLoad = make([]ExecLoadEntry, 0, len(s.ExecLoad))
+	for e, mhz := range s.ExecLoad {
+		out.ExecLoad = append(out.ExecLoad, ExecLoadEntry{Executor: e, MHz: mhz})
+	}
+	sort.Slice(out.ExecLoad, func(i, j int) bool {
+		return out.ExecLoad[i].Executor.Less(out.ExecLoad[j].Executor)
+	})
+	out.Flows = make([]FlowEntry, 0, len(s.Flows))
+	for _, f := range s.Flows {
+		out.Flows = append(out.Flows, FlowEntry{From: f.From, To: f.To, Rate: f.Rate})
+	}
+	return out
+}
+
+// LoadSnapshot converts back to the loaddb form, so a captured snapshot
+// can be fed straight into a scheduling algorithm.
+func (ts TrafficSnapshot) LoadSnapshot() *loaddb.Snapshot {
+	s := &loaddb.Snapshot{ExecLoad: make(map[topology.ExecutorID]float64, len(ts.ExecLoad))}
+	for _, le := range ts.ExecLoad {
+		s.ExecLoad[le.Executor] = le.MHz
+	}
+	s.Flows = make([]loaddb.Flow, 0, len(ts.Flows))
+	for _, f := range ts.Flows {
+		s.Flows = append(s.Flows, loaddb.Flow{From: f.From, To: f.To, Rate: f.Rate})
+	}
+	return s
+}
+
+// History retains the most recent decision reports and traffic-matrix
+// snapshots, keeps lifetime round/move counters and a decision-duration
+// histogram, and reconciles the scheduler's predicted inter-node traffic
+// rate against the live engine's observed counter. Safe for concurrent
+// use; the generators write, the telemetry handlers read.
+type History struct {
+	mu       sync.Mutex
+	capacity int
+
+	reports []*Report // oldest first
+	rounds  int64
+	moves   int64
+	relaxed int64
+	// durations records each round's Schedule wall time in milliseconds:
+	// 1 µs to 10 s at 20 bins per decade covers an in-process scheduler.
+	durations *metrics.Histogram
+
+	snapshots []TrafficSnapshot // oldest first
+
+	baseValid    bool
+	basePredict  float64 // predicted inter-node rate (tuples/s)
+	baseObserved int64   // engine inter-node counter at baseline
+	baseAt       time.Time
+}
+
+// NewHistory returns a history retaining the last n reports and traffic
+// snapshots (n ≤ 0 means DefaultCapacity).
+func NewHistory(n int) *History {
+	if n <= 0 {
+		n = DefaultCapacity
+	}
+	return &History{
+		capacity:  n,
+		durations: metrics.NewHistogram(1e-3, 1e4, 20),
+	}
+}
+
+// Capacity reports the ring size.
+func (h *History) Capacity() int { return h.capacity }
+
+// Add records a finished round: it assigns the report's sequence number,
+// folds its duration into the histogram, counts applied moves, and
+// evicts the oldest report past the ring capacity.
+func (h *History) Add(r *Report) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.rounds++
+	r.Round = h.rounds
+	if r.Applied && r.Moved > 0 {
+		h.moves += int64(r.Moved)
+	}
+	h.relaxed += int64(r.Relaxations)
+	h.durations.Add(float64(r.Duration) / float64(time.Millisecond))
+	h.reports = append(h.reports, r)
+	if len(h.reports) > h.capacity {
+		h.reports = h.reports[1:]
+	}
+}
+
+// Reports returns the retained reports, oldest first. The returned
+// reports share their placement slices with the ring; they are not
+// mutated after Add.
+func (h *History) Reports() []Report {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]Report, len(h.reports))
+	for i, r := range h.reports {
+		out[i] = *r
+	}
+	return out
+}
+
+// Last returns the most recent report, if any.
+func (h *History) Last() (Report, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.reports) == 0 {
+		return Report{}, false
+	}
+	return *h.reports[len(h.reports)-1], true
+}
+
+// Rounds reports the lifetime round count (not capped by the ring).
+func (h *History) Rounds() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.rounds
+}
+
+// Moves reports the lifetime count of executors moved by applied rounds.
+func (h *History) Moves() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.moves
+}
+
+// Relaxations reports the lifetime count of relaxed placements.
+func (h *History) Relaxations() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.relaxed
+}
+
+// DurationHistogram returns a copy of the decision-duration histogram
+// (milliseconds per round).
+func (h *History) DurationHistogram() *metrics.Histogram {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.durations.Clone()
+}
+
+// RecordTraffic appends one traffic-matrix snapshot to the ring.
+func (h *History) RecordTraffic(at time.Time, s *loaddb.Snapshot) {
+	ts := SnapshotOf(at, s)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.snapshots = append(h.snapshots, ts)
+	if len(h.snapshots) > h.capacity {
+		h.snapshots = h.snapshots[1:]
+	}
+}
+
+// TrafficHistory returns the retained traffic snapshots, oldest first.
+func (h *History) TrafficHistory() []TrafficSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]TrafficSnapshot(nil), h.snapshots...)
+}
+
+// SetBaseline anchors the reconciliation: predicted is the inter-node
+// traffic rate (tuples/s) the scheduler expects the current placement to
+// produce, observed the engine's inter-node transfer counter at that
+// instant.
+func (h *History) SetBaseline(predicted float64, observed int64, at time.Time) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.baseValid = true
+	h.basePredict = predicted
+	h.baseObserved = observed
+	h.baseAt = at
+}
+
+// minReconcileWindow is how much wall clock must pass after a baseline
+// before the observed rate is considered meaningful.
+const minReconcileWindow = 50 * time.Millisecond
+
+// Reconcile compares the baselined prediction against reality: observed
+// is the engine's current inter-node transfer counter. The ratio is
+// predicted rate ÷ observed rate since the baseline — 1.0 means the
+// paper's cost model matched the wire exactly. ok is false before a
+// baseline exists, within the minimum window, or while no inter-node
+// traffic has been observed yet (unless none was predicted either, which
+// reconciles perfectly).
+func (h *History) Reconcile(observed int64, now time.Time) (ratio float64, ok bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.baseValid || h.basePredict < 0 {
+		return 0, false
+	}
+	elapsed := now.Sub(h.baseAt)
+	if elapsed < minReconcileWindow {
+		return 0, false
+	}
+	rate := float64(observed-h.baseObserved) / elapsed.Seconds()
+	if rate <= 0 {
+		if h.basePredict == 0 {
+			return 1, true
+		}
+		return 0, false
+	}
+	return h.basePredict / rate, true
+}

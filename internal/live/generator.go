@@ -8,6 +8,7 @@ import (
 
 	"tstorm/internal/cluster"
 	"tstorm/internal/core"
+	"tstorm/internal/decision"
 	"tstorm/internal/loaddb"
 	"tstorm/internal/scheduler"
 	"tstorm/internal/topology"
@@ -23,6 +24,11 @@ type GeneratorConfig struct {
 	// a new schedule must offer (when it does not reduce node count) to be
 	// worth the migration (default 0.10, as in the simulated generator).
 	ImprovementThreshold float64
+	// History, when non-nil, receives a decision report and a
+	// traffic-matrix snapshot for every generation, and — after each
+	// apply — the prediction baseline the telemetry layer reconciles
+	// against the engine's observed inter-node counters.
+	History *decision.History
 }
 
 // DefaultGeneratorConfig matches the paper's settings.
@@ -175,6 +181,17 @@ func (g *Generator) generate(force bool) bool {
 	for _, down := range g.eng.DownNodes() {
 		in.OccupyNode(down)
 	}
+	if g.cfg.History != nil {
+		in.Probe = decision.NewBuilder()
+	}
+	incumbent := cluster.NewAssignment(0)
+	for _, name := range names {
+		if a, ok := g.eng.CurrentAssignment(name); ok {
+			for e, s := range a.Executors {
+				incumbent.Assign(e, s)
+			}
+		}
+	}
 	global, err := g.Algorithm().Schedule(in)
 	if err != nil {
 		return false
@@ -199,6 +216,23 @@ func (g *Generator) generate(force bool) bool {
 			g.applied.Add(1)
 			changed = true
 		}
+	}
+	if h := g.cfg.History; h != nil && in.Probe != nil {
+		rep := in.Probe.Report()
+		if len(incumbent.Executors) > 0 {
+			rep.PredictedBefore = decision.InterNodeRate(incumbent, snap)
+		}
+		rep.Moved = decision.MovedExecutors(global, incumbent)
+		rep.Applied = changed
+		h.Add(rep)
+		h.RecordTraffic(time.Now(), snap)
+		// Anchor the reconciliation on whatever schedule is now live: the
+		// generated one after an apply, the unchanged incumbent otherwise.
+		predicted := rep.PredictedAfter
+		if !changed && rep.Moved != 0 && rep.PredictedBefore >= 0 {
+			predicted = rep.PredictedBefore
+		}
+		h.SetBaseline(predicted, g.eng.Totals().InterNodeSent, time.Now())
 	}
 	return changed
 }

@@ -141,6 +141,15 @@ func (m *Monitor) Forget(topo string) {
 	m.db.Forget(topo)
 }
 
+// Forgotten reports whether Forget was called for the topology — the
+// telemetry layer uses it to keep dead topologies out of the placement
+// view (the engine itself has no topology-removal API).
+func (m *Monitor) Forgotten(topo string) bool {
+	m.sampleMu.Lock()
+	defer m.sampleMu.Unlock()
+	return m.forgotten[topo]
+}
+
 // Sample performs one sampling round: drain CPU counters and the traffic
 // matrix, convert to MHz and tuples/s over the wall-clock time actually
 // elapsed since the previous drain, and batch the window into the

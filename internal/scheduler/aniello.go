@@ -48,6 +48,7 @@ func (AnielloOffline) Schedule(in *Input) (*cluster.Assignment, error) {
 			a.Assign(e, workers[i/per])
 		}
 	}
+	recordDecisions(in, "aniello-offline", a)
 	return a, nil
 }
 
@@ -121,7 +122,7 @@ func (AnielloOnline) Schedule(in *Input) (*cluster.Assignment, error) {
 	}
 	if in.Load == nil {
 		in = &Input{Topologies: in.Topologies, Cluster: in.Cluster,
-			Load: &loaddb.Snapshot{}, Occupied: in.Occupied}
+			Load: &loaddb.Snapshot{}, Occupied: in.Occupied, Probe: in.Probe}
 	}
 	a := cluster.NewAssignment(0)
 	free := in.InterleavedFreeSlots()
@@ -143,6 +144,7 @@ func (AnielloOnline) Schedule(in *Input) (*cluster.Assignment, error) {
 			}
 		}
 	}
+	recordDecisions(in, "aniello-online", a)
 	return a, nil
 }
 

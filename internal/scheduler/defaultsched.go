@@ -39,6 +39,7 @@ func (RoundRobin) Schedule(in *Input) (*cluster.Assignment, error) {
 		free = free[nw:]
 		assignRoundRobin(a, top.Executors(), workers)
 	}
+	recordDecisions(in, "default", a)
 	return a, nil
 }
 
@@ -87,6 +88,7 @@ func (TStormInitial) Schedule(in *Input) (*cluster.Assignment, error) {
 		}
 		assignRoundRobin(a, top.Executors(), workers)
 	}
+	recordDecisions(in, "tstorm-initial", a)
 	return a, nil
 }
 
@@ -104,11 +106,15 @@ var _ Algorithm = Pinned{}
 func (Pinned) Name() string { return "pinned" }
 
 // Schedule returns the pinned assignment.
-func (p Pinned) Schedule(*Input) (*cluster.Assignment, error) {
+func (p Pinned) Schedule(in *Input) (*cluster.Assignment, error) {
 	if p.Assignment == nil {
 		return nil, fmt.Errorf("scheduler: pinned assignment is nil")
 	}
-	return p.Assignment.Clone(), nil
+	a := p.Assignment.Clone()
+	if in != nil {
+		recordDecisions(in, "pinned", a)
+	}
+	return a, nil
 }
 
 // PlaceExecutors is a helper for hand-built placements: it assigns the

@@ -104,5 +104,6 @@ func (LoadBalanced) Schedule(in *Input) (*cluster.Assignment, error) {
 		a.Assign(e, slot)
 		nodeLoad[n] += load.ExecLoad[e]
 	}
+	recordDecisions(in, "load-balanced", a)
 	return a, nil
 }

@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"tstorm/internal/cluster"
+	"tstorm/internal/decision"
 	"tstorm/internal/loaddb"
 	"tstorm/internal/topology"
 )
@@ -34,6 +35,12 @@ type Input struct {
 	// CapacityFraction scales each node's usable CPU capacity (the
 	// paper's advice to set C_k below physical capacity); 0 means 1.0.
 	CapacityFraction float64
+	// Probe, when non-nil, receives the run's placement decisions —
+	// which slots were considered for each executor, with what gain, and
+	// which constraint rejected the losers. Algorithms must behave
+	// identically with and without it; each Schedule call owns its own
+	// Builder, so recording never synchronizes with anything.
+	Probe *decision.Builder
 }
 
 // NewInput assembles a scheduling Input from its parts — the single
@@ -167,4 +174,38 @@ func assignRoundRobin(a *cluster.Assignment, execs []topology.ExecutorID, slots 
 	for i, e := range execs {
 		a.Assign(e, slots[i%len(slots)])
 	}
+}
+
+// recordDecisions feeds the input's probe, if any, from a finished
+// assignment — the uniform path for algorithms that place by structural
+// rules rather than per-slot constraint evaluation (the baselines).
+// Rank is declaration order and Options stays empty; Algorithm 1 in
+// internal/core records its richer per-candidate trail itself.
+func recordDecisions(in *Input, algorithm string, a *cluster.Assignment) {
+	p := in.Probe
+	if p == nil || a == nil || in.Cluster == nil {
+		return
+	}
+	load := in.Load
+	if load == nil {
+		load = &loaddb.Snapshot{}
+	}
+	p.Begin(algorithm, in.NumExecutors(), in.Cluster.NumNodes())
+	total := load.TotalTraffic()
+	rank := 0
+	for _, top := range in.Topologies {
+		for _, e := range top.Executors() {
+			if s, ok := a.Slot(e); ok {
+				p.Place(decision.Placement{
+					Executor: e,
+					Rank:     rank,
+					Traffic:  total[e],
+					Load:     load.ExecLoad[e],
+					Slot:     s,
+				})
+			}
+			rank++
+		}
+	}
+	p.Finish(a, load)
 }

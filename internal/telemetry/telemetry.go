@@ -2,8 +2,11 @@
 // Prometheus text-format /metrics endpoint (cumulative counters and
 // histograms, safe to scrape while benchmarks drain their own windows),
 // /debug/placement (the current routing snapshot's executor→slot map as
-// JSON), and /debug/trace (recent wall-clock runtime events from the ring
-// buffer, as JSON or a plain-text timeline).
+// JSON), /debug/trace (recent wall-clock runtime events from the ring
+// buffer, as JSON or a plain-text timeline), /debug/scheduler (the
+// decision-report ring explaining every Algorithm 1 placement, as JSON or
+// a text timeline), and /debug/traffic (the current and historical
+// traffic-matrix snapshots the scheduler decided on).
 //
 // Everything the handlers read comes from lock-free snapshots — the
 // engine's copy-on-write route table, per-executor atomics, and the
@@ -20,7 +23,9 @@ import (
 	"strconv"
 	"time"
 
+	"tstorm/internal/decision"
 	"tstorm/internal/live"
+	"tstorm/internal/loaddb"
 	"tstorm/internal/trace"
 )
 
@@ -38,6 +43,14 @@ type Config struct {
 	// TraceLimit caps how many events /debug/trace returns per request
 	// (default 256; the ?n= query parameter can only lower it).
 	TraceLimit int
+	// History, when non-nil, backs /debug/scheduler, the historical half
+	// of /debug/traffic, and the tstorm_scheduler_* metric families —
+	// including the predicted-vs-observed reconciliation gauge computed
+	// against the engine's inter-node counter at scrape time.
+	History *decision.History
+	// DB, when non-nil, contributes the live traffic matrix to
+	// /debug/traffic.
+	DB *loaddb.DB
 }
 
 // Server serves the telemetry endpoints.
@@ -60,6 +73,8 @@ func NewServer(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/debug/placement", s.handlePlacement)
 	s.mux.HandleFunc("/debug/trace", s.handleTrace)
+	s.mux.HandleFunc("/debug/scheduler", s.handleScheduler)
+	s.mux.HandleFunc("/debug/traffic", s.handleTraffic)
 	return s, nil
 }
 
@@ -209,6 +224,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		e.sample("tstorm_trace_dropped_total", nil, float64(rec.Dropped()))
 	}
 
+	if h := s.cfg.History; h != nil {
+		e.family("tstorm_scheduler_rounds_total", "Completed scheduling decision rounds.", "counter")
+		e.sample("tstorm_scheduler_rounds_total", nil, float64(h.Rounds()))
+		e.family("tstorm_scheduler_moves_total", "Executors moved by applied scheduling rounds.", "counter")
+		e.sample("tstorm_scheduler_moves_total", nil, float64(h.Moves()))
+		e.family("tstorm_scheduler_relaxations_total", "Placements that needed constraint relaxation.", "counter")
+		e.sample("tstorm_scheduler_relaxations_total", nil, float64(h.Relaxations()))
+		e.family("tstorm_scheduler_decision_duration_ms", "Wall-clock duration of each scheduling decision round.", "histogram")
+		e.histogram("tstorm_scheduler_decision_duration_ms", nil, h.DurationHistogram())
+		// The reconciliation gauge: predicted inter-node rate of the live
+		// schedule over the rate observed on the engine's counters since
+		// the last round. No sample until a baseline window has elapsed.
+		e.family("tstorm_scheduler_predicted_vs_observed_ratio", "Predicted inter-node traffic rate over the rate observed since the last scheduling round (1.0 = the cost model matched the wire).", "gauge")
+		if ratio, ok := h.Reconcile(eng.Totals().InterNodeSent, time.Now()); ok {
+			e.sample("tstorm_scheduler_predicted_vs_observed_ratio", nil, ratio)
+		}
+	}
+
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	fmt.Fprint(w, e.b.String())
 }
@@ -224,10 +257,24 @@ type placementDoc struct {
 
 func (s *Server) handlePlacement(w http.ResponseWriter, r *http.Request) {
 	t := s.cfg.Engine.Totals()
+	placements := s.cfg.Engine.Placement()
+	// The engine has no topology-removal API, so executors of a topology
+	// the monitor was told to Forget stay in the route snapshot; keep the
+	// telemetry view consistent with the rest of the stack by filtering
+	// them here.
+	if m := s.cfg.Monitor; m != nil {
+		kept := make([]live.PlacementEntry, 0, len(placements))
+		for _, p := range placements {
+			if !m.Forgotten(p.Executor.Topology) {
+				kept = append(kept, p)
+			}
+		}
+		placements = kept
+	}
 	doc := placementDoc{
 		Applies:    t.Applies,
 		Migrations: t.Migrations,
-		Placements: s.cfg.Engine.Placement(),
+		Placements: placements,
 	}
 	writeJSON(w, doc)
 }
@@ -253,11 +300,9 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	events := rec.Events()
-	limit := s.cfg.TraceLimit
-	if q := r.URL.Query().Get("n"); q != "" {
-		if n, err := strconv.Atoi(q); err == nil && n > 0 && n < limit {
-			limit = n
-		}
+	limit, ok := requestLimit(w, r, s.cfg.TraceLimit)
+	if !ok {
+		return
 	}
 	if len(events) > limit {
 		events = events[len(events)-limit:]
@@ -286,6 +331,134 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		docs = append(docs, d)
 	}
 	writeJSON(w, docs)
+}
+
+// requestLimit parses the ?n= query parameter against a default cap:
+// absent keeps the default, a larger value clamps to it, and anything
+// non-numeric or non-positive is a 400 (ok=false, response written).
+func requestLimit(w http.ResponseWriter, r *http.Request, def int) (limit int, ok bool) {
+	limit = def
+	q := r.URL.Query().Get("n")
+	if q == "" {
+		return limit, true
+	}
+	n, err := strconv.Atoi(q)
+	if err != nil || n <= 0 {
+		http.Error(w, fmt.Sprintf("invalid n=%q: want a positive integer", q), http.StatusBadRequest)
+		return 0, false
+	}
+	if n < limit {
+		limit = n
+	}
+	return limit, true
+}
+
+// schedulerDoc is the /debug/scheduler response body.
+type schedulerDoc struct {
+	// Rounds, Moves, and Relaxations are lifetime counters (they survive
+	// ring eviction).
+	Rounds      int64 `json:"rounds"`
+	Moves       int64 `json:"moves"`
+	Relaxations int64 `json:"relaxations"`
+	// PredictedVsObservedRatio reconciles the live schedule's predicted
+	// inter-node traffic rate against the engine's observed counters
+	// (omitted until a baseline window has elapsed).
+	PredictedVsObservedRatio *float64 `json:"predicted_vs_observed_ratio,omitempty"`
+	// Reports are the retained decision reports, oldest first.
+	Reports []decision.Report `json:"reports"`
+}
+
+// handleScheduler returns the decision-report ring. ?n= lowers the report
+// count; ?format=text renders a one-line-per-round timeline instead.
+func (s *Server) handleScheduler(w http.ResponseWriter, r *http.Request) {
+	h := s.cfg.History
+	if h == nil {
+		http.Error(w, "decision history not enabled", http.StatusNotFound)
+		return
+	}
+	limit, ok := requestLimit(w, r, h.Capacity())
+	if !ok {
+		return
+	}
+	reports := h.Reports()
+	if len(reports) > limit {
+		reports = reports[len(reports)-limit:]
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, rep := range reports {
+			fmt.Fprintln(w, decisionLine(rep))
+		}
+		return
+	}
+	doc := schedulerDoc{
+		Rounds:      h.Rounds(),
+		Moves:       h.Moves(),
+		Relaxations: h.Relaxations(),
+		Reports:     reports,
+	}
+	if ratio, ok := h.Reconcile(s.cfg.Engine.Totals().InterNodeSent, time.Now()); ok {
+		doc.PredictedVsObservedRatio = &ratio
+	}
+	writeJSON(w, doc)
+}
+
+// decisionLine renders one report as a timeline line.
+func decisionLine(rep decision.Report) string {
+	applied := "skipped"
+	if rep.Applied {
+		applied = "applied"
+	}
+	before := "n/a"
+	if rep.PredictedBefore >= 0 {
+		before = fmt.Sprintf("%.0f", rep.PredictedBefore)
+	}
+	return fmt.Sprintf("round %d %s: algo=%s execs=%d nodes=%d/%d inter-node %s -> %.0f tuples/s moved=%d relaxed=%d in %.2fms [%s]",
+		rep.Round, rep.Start.Format(time.RFC3339Nano), rep.Algorithm,
+		rep.Executors, rep.NodesUsed, rep.Nodes,
+		before, rep.PredictedAfter, rep.Moved, rep.Relaxations,
+		float64(rep.Duration)/float64(time.Millisecond), applied)
+}
+
+// trafficDoc is the /debug/traffic response body.
+type trafficDoc struct {
+	// Current is the load database's traffic matrix at request time
+	// (omitted without a DB). Save this document and feed it to
+	// `tstorm-sched explain -snapshot` to replay the decision offline.
+	Current *decision.TrafficSnapshot `json:"current,omitempty"`
+	// History lists the snapshots recorded at each scheduling round,
+	// oldest first.
+	History []decision.TrafficSnapshot `json:"history"`
+}
+
+// handleTraffic returns the current and historical traffic matrices.
+// ?n= lowers the history length.
+func (s *Server) handleTraffic(w http.ResponseWriter, r *http.Request) {
+	h := s.cfg.History
+	if h == nil && s.cfg.DB == nil {
+		http.Error(w, "decision history not enabled", http.StatusNotFound)
+		return
+	}
+	def := decision.DefaultCapacity
+	if h != nil {
+		def = h.Capacity()
+	}
+	limit, ok := requestLimit(w, r, def)
+	if !ok {
+		return
+	}
+	doc := trafficDoc{History: []decision.TrafficSnapshot{}}
+	if s.cfg.DB != nil {
+		cur := decision.SnapshotOf(time.Now(), s.cfg.DB.Snapshot())
+		doc.Current = &cur
+	}
+	if h != nil {
+		doc.History = h.TrafficHistory()
+		if len(doc.History) > limit {
+			doc.History = doc.History[len(doc.History)-limit:]
+		}
+	}
+	writeJSON(w, doc)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -1,6 +1,8 @@
 package tstorm_test
 
 import (
+	"encoding/json"
+	"net/http"
 	"strings"
 	"testing"
 	"time"
@@ -51,6 +53,8 @@ func TestWireOptionValidation(t *testing.T) {
 		tstorm.WithGeneratePeriod(-time.Second),
 		tstorm.WithAckTimeout(0),
 		tstorm.WithMaxPending(-1),
+		tstorm.WithDecisionHistory(0),
+		tstorm.WithDecisionHistory(-5),
 	}
 	for i, opt := range bad {
 		if _, err := tstorm.Wire(rt, opt); err == nil {
@@ -228,5 +232,99 @@ func TestStackLifecycleLive(t *testing.T) {
 	}
 	if err := legacy.Stop(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestForgetRemovesTopologyFromPlacementEndpoint wires a live stack with
+// decision history, and checks /debug/placement lists the topology before
+// Stack.Forget and drops every one of its executors afterwards — while
+// /debug/scheduler (enabled by WithDecisionHistory) keeps answering.
+func TestForgetRemovesTopologyFromPlacementEndpoint(t *testing.T) {
+	top := simpleTopology(t, "ghost")
+	cl, err := tstorm.NewCluster(2, 4, 2000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := tstorm.NewLiveEngine(tstorm.DefaultLiveConfig(), cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial, err := tstorm.InitialSchedule(top, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen int64
+	app := &tstorm.App{
+		Topology:      top,
+		Spouts:        map[string]func() tstorm.Spout{"src": func() tstorm.Spout { return &facadeSpout{} }},
+		Bolts:         map[string]func() tstorm.Bolt{"work": func() tstorm.Bolt { return facadeBolt{seen: &seen} }},
+		SpoutInterval: map[string]time.Duration{"src": time.Millisecond},
+	}
+	if err := eng.Submit(app, initial); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Stop()
+
+	stack, err := tstorm.Wire(eng,
+		tstorm.WithMonitorPeriod(30*time.Millisecond),
+		tstorm.WithGeneratePeriod(time.Hour),
+		tstorm.WithDecisionHistory(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stack.Stop() //nolint:errcheck // idempotent
+	if stack.Decisions == nil {
+		t.Fatal("WithDecisionHistory left Stack.Decisions nil")
+	}
+	srv, err := stack.StartTelemetry("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	listed := func() int {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + "/debug/placement")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var doc struct {
+			Placements []struct {
+				Executor struct {
+					Topology string `json:"topology"`
+				} `json:"executor"`
+			} `json:"placements"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, p := range doc.Placements {
+			if p.Executor.Topology == "ghost" {
+				n++
+			}
+		}
+		return n
+	}
+
+	if got := listed(); got != top.NumExecutors() {
+		t.Fatalf("placement lists %d ghost executors before Forget, want %d", got, top.NumExecutors())
+	}
+	stack.Forget("ghost")
+	if got := listed(); got != 0 {
+		t.Fatalf("placement still lists %d ghost executors after Forget, want 0", got)
+	}
+
+	resp, err := http.Get("http://" + srv.Addr() + "/debug/scheduler")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/scheduler status %d with decision history wired", resp.StatusCode)
 	}
 }

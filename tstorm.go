@@ -45,6 +45,7 @@ import (
 
 	"tstorm/internal/cluster"
 	"tstorm/internal/core"
+	"tstorm/internal/decision"
 	"tstorm/internal/engine"
 	"tstorm/internal/live"
 	"tstorm/internal/loaddb"
@@ -176,12 +177,20 @@ type (
 	// TraceEvent is one recorded runtime event.
 	TraceEvent = trace.Event
 	// TelemetryServer serves /metrics (Prometheus text format),
-	// /debug/placement, and /debug/trace for a live engine.
+	// /debug/placement, /debug/trace, /debug/scheduler, and
+	// /debug/traffic for a live engine.
 	TelemetryServer = telemetry.Server
 	// TelemetryConfig selects what a TelemetryServer exposes.
 	TelemetryConfig = telemetry.Config
 	// Estimator is a pluggable load estimator (§IV-B extension point).
 	Estimator = predictor.Estimator
+	// DecisionHistory retains scheduler decision reports and traffic
+	// snapshots (see WithDecisionHistory).
+	DecisionHistory = decision.History
+	// DecisionReport explains one scheduling round: every placement with
+	// its candidate slots, gains, and rejection constraints, plus the
+	// predicted inter-node traffic before and after.
+	DecisionReport = decision.Report
 )
 
 // NewTelemetryServer builds a telemetry server over a live engine and
@@ -272,12 +281,13 @@ const (
 
 // wireConfig collects Wire's options; zero fields mean Table II defaults.
 type wireConfig struct {
-	gamma          float64
-	monitorPeriod  time.Duration
-	generatePeriod time.Duration
-	ackTimeout     time.Duration // live only
-	maxPending     int           // live only; -1 = unset
-	err            error         // first invalid option
+	gamma           float64
+	monitorPeriod   time.Duration
+	generatePeriod  time.Duration
+	ackTimeout      time.Duration // live only
+	maxPending      int           // live only; -1 = unset
+	decisionHistory int           // reports retained; 0 = disabled
+	err             error         // first invalid option
 }
 
 // Option configures Wire.
@@ -322,6 +332,23 @@ func WithGeneratePeriod(d time.Duration) Option {
 			return
 		}
 		c.generatePeriod = d
+	}
+}
+
+// WithDecisionHistory makes the generator record a DecisionReport and a
+// traffic-matrix snapshot for each scheduling round, retaining the last n
+// of each on Stack.Decisions. StartTelemetry then serves them on
+// /debug/scheduler and /debug/traffic and exports the tstorm_scheduler_*
+// metric families, including the predicted-vs-observed inter-node traffic
+// reconciliation gauge. Works on both backends (the reconciliation gauge
+// needs the live engine's counters).
+func WithDecisionHistory(n int) Option {
+	return func(c *wireConfig) {
+		if n <= 0 {
+			c.optErr(fmt.Errorf("tstorm: WithDecisionHistory(%d): report count must be positive", n))
+			return
+		}
+		c.decisionHistory = n
 	}
 }
 
@@ -375,6 +402,11 @@ type Stack struct {
 	// with exponential backoff.
 	Supervisor *LiveSupervisor
 
+	// Decisions retains the generator's per-round DecisionReports and
+	// traffic snapshots when the stack was wired WithDecisionHistory
+	// (nil otherwise). Both backends feed it.
+	Decisions *DecisionHistory
+
 	stopOnce sync.Once
 }
 
@@ -411,13 +443,18 @@ func Wire(backend Backend, opts ...Option) (*Stack, error) {
 		fleet := monitor.Start(be, db, cfg.monitorPeriod)
 		gcfg := core.DefaultGeneratorConfig()
 		gcfg.GenerationPeriod = cfg.generatePeriod
+		var hist *decision.History
+		if cfg.decisionHistory > 0 {
+			hist = decision.NewHistory(cfg.decisionHistory)
+			gcfg.History = hist
+		}
 		gen, err := core.StartGenerator(be, db, gcfg, core.NewTrafficAware(cfg.gamma))
 		if err != nil {
 			fleet.Stop()
 			return nil, err
 		}
 		cs := core.StartCustomScheduler(be, core.DefaultFetchPeriod)
-		return &Stack{DB: db, Monitors: fleet, Generator: gen, Scheduler: cs}, nil
+		return &Stack{DB: db, Monitors: fleet, Generator: gen, Scheduler: cs, Decisions: hist}, nil
 
 	case *LiveEngine:
 		if cfg.ackTimeout > 0 {
@@ -429,13 +466,18 @@ func Wire(backend Backend, opts ...Option) (*Stack, error) {
 		mon := live.StartMonitor(be, db, cfg.monitorPeriod)
 		lcfg := live.DefaultGeneratorConfig()
 		lcfg.Period = cfg.generatePeriod
+		var hist *decision.History
+		if cfg.decisionHistory > 0 {
+			hist = decision.NewHistory(cfg.decisionHistory)
+			lcfg.History = hist
+		}
 		gen, err := live.StartGenerator(be, db, lcfg, core.NewTrafficAware(cfg.gamma))
 		if err != nil {
 			mon.Stop()
 			return nil, err
 		}
 		sup := live.StartSupervisor(be, 0)
-		return &Stack{DB: db, Engine: be, Monitor: mon, LiveGenerator: gen, Supervisor: sup}, nil
+		return &Stack{DB: db, Engine: be, Monitor: mon, LiveGenerator: gen, Supervisor: sup, Decisions: hist}, nil
 
 	default:
 		return nil, fmt.Errorf("tstorm: unsupported backend %T (want *tstorm.Runtime or *tstorm.LiveEngine)", backend)
@@ -443,8 +485,9 @@ func Wire(backend Backend, opts ...Option) (*Stack, error) {
 }
 
 // StartTelemetry serves the stack's observability endpoints — Prometheus
-// text-format /metrics, /debug/placement, and /debug/trace (when the
-// engine was built with LiveConfig.Trace) — on addr (e.g. ":9090", or
+// text-format /metrics, /debug/placement, /debug/trace (when the engine
+// was built with LiveConfig.Trace), and /debug/scheduler + /debug/traffic
+// (when wired WithDecisionHistory) — on addr (e.g. ":9090", or
 // "127.0.0.1:0" for an ephemeral port; read the bound address back with
 // Addr). Close the returned server when done. Live backend only: the
 // simulated Runtime has no wall-clock to scrape against.
@@ -456,6 +499,8 @@ func (s *Stack) StartTelemetry(addr string) (*TelemetryServer, error) {
 		Engine:  s.Engine,
 		Monitor: s.Monitor,
 		Trace:   s.Engine.Trace(),
+		History: s.Decisions,
+		DB:      s.DB,
 	})
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package tstorm_test
 
 import (
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -19,11 +20,13 @@ func (s *facadeSpout) NextTuple(em tstorm.SpoutEmitter) {
 func (s *facadeSpout) Ack(any)  {}
 func (s *facadeSpout) Fail(any) {}
 
+// facadeBolt counts executions; atomically, since the live engine runs
+// one goroutine per bolt executor and they share the counter.
 type facadeBolt struct{ seen *int64 }
 
 func (facadeBolt) Prepare(*tstorm.Context) {}
 func (b facadeBolt) Execute(in tstorm.Tuple, em tstorm.Emitter) {
-	*b.seen++
+	atomic.AddInt64(b.seen, 1)
 }
 
 // TestFacadeEndToEnd drives the whole public API surface the README
