@@ -10,6 +10,13 @@
 # reschedule) runs twice under the race detector: fault injection +
 # supervised restart are timing-sensitive, and each test asserts
 # at-least-once conservation (every spout root acked or replayed).
+# The distributed smoke runs explicitly under the race detector: real
+# worker processes are spawned over loopback TCP, one is killed with a
+# real SIGKILL, and the tests assert supervised respawn plus exact
+# at-least-once conservation across the process death.
+# The codec fuzz smoke throws 30s of generated hostile bytes at the wire
+# decoders (workers decode frames from the network, so malformed input
+# must error, never panic).
 # The experiment package replays full paper figures, which is slow under
 # the race detector — hence the raised per-package timeout.
 # The shuffled pass reorders test execution within every package, catching
@@ -22,5 +29,8 @@ go vet ./...
 go test -race -count=1 -run 'TestRoutingSnapshotStress|TestRouteObservesSinglePlacement|TestEmissionsFlowWhileEngineLockHeld|TestMonitorStopConcurrent' ./internal/live
 go test -race -count=1 -run 'TestScrapeUnderChurnStress' ./internal/telemetry
 go test -race -count=2 -run 'TestChaos|TestReliabilityParityShape' ./internal/live
+go test -race -count=1 -run 'TestDistributed' ./internal/dist
+go test -count=1 -fuzz 'FuzzDecodeValues' -fuzztime 15s -run '^$' ./internal/live
+go test -count=1 -fuzz 'FuzzDecodeFrame' -fuzztime 15s -run '^$' ./internal/live
 go test -shuffle=on -count=1 ./...
 go test -race -timeout 30m ./...

@@ -1,0 +1,335 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"tstorm/internal/cluster"
+	"tstorm/internal/core"
+	"tstorm/internal/dist"
+	"tstorm/internal/docstore"
+	"tstorm/internal/live"
+	"tstorm/internal/loaddb"
+	"tstorm/internal/scheduler"
+	"tstorm/internal/topology"
+	"tstorm/internal/workloads"
+)
+
+// distRun is one measured configuration of the distributed benchmark:
+// the self-fed Word Count spread over real worker processes exchanging
+// tuples on loopback TCP.
+type distRun struct {
+	Scheduler        string  `json:"scheduler"`
+	TuplesPerSec     float64 `json:"tuples_per_sec"`
+	SinkTuplesPerSec float64 `json:"sink_tuples_per_sec"`
+	// InterProcessFraction is the fraction of transfers that crossed a
+	// worker-process (TCP) boundary — measured at the senders, not
+	// emulated.
+	InterProcessFraction float64 `json:"inter_process_fraction"`
+	Migrations           int64   `json:"migrations"`
+}
+
+// distReport is the distributed-backend section of the live benchmark
+// document: loopback TCP throughput under round-robin vs T-Storm, and
+// the kill -9 recovery phase.
+type distReport struct {
+	Workers     int       `json:"workers"` // worker processes spawned per run
+	DurationSec float64   `json:"duration_sec"`
+	Runs        []distRun `json:"runs"`
+	// Speedup is T-Storm's measured tuples/s over round-robin's.
+	Speedup  float64      `json:"speedup"`
+	Recovery *recoveryRun `json:"recovery,omitempty"`
+}
+
+const distWorkers = 3
+
+func distParams() workloads.SelfFedParams {
+	return workloads.SelfFedParams{Spouts: 2, Splitters: 4, Counters: 4, Mongos: 2, Workers: distWorkers}
+}
+
+// distSchedule computes the initial placement for the given scheduler
+// name over the distributed cluster, building the topology locally (the
+// driver rebuilds and re-validates the same workload from its registry
+// name on Submit).
+func distSchedule(sched string, cl *cluster.Cluster, p workloads.SelfFedParams) (*cluster.Assignment, error) {
+	wcfg := workloads.DefaultSelfFedWordCountConfig()
+	wcfg.Spouts, wcfg.Splitters, wcfg.Counters, wcfg.Mongos, wcfg.Workers =
+		p.Spouts, p.Splitters, p.Counters, p.Mongos, p.Workers
+	wcfg.Reliable, wcfg.Ackers, wcfg.MaxPending, wcfg.Limit =
+		p.Reliable, p.Ackers, p.MaxPending, p.Limit
+	// The sink is per-process state; this local build only exists to
+	// compute a schedule, so a throwaway store satisfies the builder.
+	wcfg.Sink = docstore.NewStore()
+	var top *topology.Topology
+	if wcfg.Reliable {
+		app, _, err := workloads.NewReliableSelfFedWordCount(wcfg)
+		if err != nil {
+			return nil, err
+		}
+		top = app.Topology
+	} else {
+		app, err := workloads.NewSelfFedWordCount(wcfg)
+		if err != nil {
+			return nil, err
+		}
+		top = app.Topology
+	}
+	in := scheduler.NewInput([]*topology.Topology{top}, cl, nil, 0)
+	if sched == "tstorm" {
+		return scheduler.TStormInitial{}.Schedule(in)
+	}
+	return scheduler.RoundRobin{}.Schedule(in)
+}
+
+// runDist benchmarks the distributed (multi-process) runtime and merges
+// the result into the live benchmark report at jsonPath (created if
+// missing): round-robin vs T-Storm over real loopback TCP, then a kill
+// -9 recovery phase under at-least-once delivery.
+func runDist(duration time.Duration, seed uint64, jsonPath string) error {
+	if duration <= 0 {
+		duration = 3 * time.Second
+	}
+	fmt.Printf("Distributed runtime benchmark: self-fed Word Count, %d worker processes on loopback TCP, %.0fs measure window\n\n",
+		distWorkers, duration.Seconds())
+
+	rep := distReport{Workers: distWorkers, DurationSec: duration.Seconds()}
+	for _, sched := range []string{"default", "tstorm"} {
+		run, err := distOnce(sched, duration, seed)
+		if err != nil {
+			return fmt.Errorf("dist %s run: %w", sched, err)
+		}
+		rep.Runs = append(rep.Runs, run)
+		fmt.Printf("%-8s  %10.0f tuples/s  %8.0f sink/s  inter-process %5.1f%%  migrations %d\n",
+			run.Scheduler, run.TuplesPerSec, run.SinkTuplesPerSec,
+			100*run.InterProcessFraction, run.Migrations)
+	}
+	if rep.Runs[0].TuplesPerSec > 0 {
+		rep.Speedup = rep.Runs[1].TuplesPerSec / rep.Runs[0].TuplesPerSec
+	}
+	fmt.Printf("\nT-Storm speedup over round-robin (measured TCP traffic): %.2f×\n", rep.Speedup)
+
+	rec, err := runDistRecovery(seed)
+	if err != nil {
+		return fmt.Errorf("dist recovery run: %w", err)
+	}
+	rep.Recovery = &rec
+	fmt.Printf("recovery (kill -9 one worker process): %.0f ms back to 90%% of %.0f tuples/s; lost roots %d, replays %d, process crashes %d, respawns %d\n",
+		rec.RecoveryMs, rec.PreCrashTuplesPerSec, rec.LostRoots, rec.Replays,
+		rec.WorkerCrashes, rec.WorkerRestarts)
+
+	if jsonPath != "" {
+		return mergeDistReport(jsonPath, &rep)
+	}
+	return nil
+}
+
+// mergeDistReport folds the distributed section into an existing live
+// report file, or creates a fresh document around it.
+func mergeDistReport(jsonPath string, rep *distReport) error {
+	doc := liveReport{Benchmark: "live-wordcount", LockContentionNote: lockContentionNote}
+	if data, err := os.ReadFile(jsonPath); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("existing %s is not a live report: %w", jsonPath, err)
+		}
+	}
+	doc.Distributed = rep
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (distributed section)\n", jsonPath)
+	return nil
+}
+
+// distOnce measures one scheduler configuration on the multi-process
+// backend: spawn the fleet under the scheduler's initial placement,
+// (for tstorm) feed the worker monitors' measured traffic through
+// Algorithm 1 and apply one reschedule across process boundaries, then
+// measure fleet throughput over the window.
+func distOnce(sched string, measure time.Duration, seed uint64) (distRun, error) {
+	p := distParams()
+	eng, err := dist.NewEngine(dist.Config{
+		Nodes: distWorkers,
+		Seed:  seed,
+	})
+	if err != nil {
+		return distRun{}, err
+	}
+	initial, err := distSchedule(sched, eng.Cluster(), p)
+	if err != nil {
+		return distRun{}, err
+	}
+	if err := eng.Submit(workloads.SelfFedWorkload, p, initial); err != nil {
+		return distRun{}, err
+	}
+	if err := eng.Start(); err != nil {
+		return distRun{}, err
+	}
+	defer eng.Stop()
+
+	const monitorPeriod = 250 * time.Millisecond
+	if sched == "tstorm" {
+		db := loaddb.New(0.5)
+		eng.SetLoadSink(db)
+		eng.SetMonitorPeriod(monitorPeriod)
+		gen, err := live.StartGenerator(eng, db, live.GeneratorConfig{
+			Period:               time.Hour, // one forced reschedule below
+			CapacityFraction:     0.9,
+			ImprovementThreshold: 0.10,
+		}, core.NewTrafficAware(1.5))
+		if err != nil {
+			return distRun{}, err
+		}
+		defer gen.Stop()
+		deadline := time.Now().Add(10 * time.Second)
+		for !db.HasData() && time.Now().Before(deadline) {
+			time.Sleep(monitorPeriod / 5)
+		}
+		time.Sleep(4 * monitorPeriod) // EWMA settles over a few windows
+		gen.Reschedule()
+		time.Sleep(time.Second) // regain steady state after the halt
+	} else {
+		time.Sleep(4*monitorPeriod + time.Second) // matching warm-up
+	}
+
+	t0 := eng.Totals()
+	start := time.Now()
+	time.Sleep(measure)
+	w := eng.Totals().Sub(t0)
+	elapsed := time.Since(start).Seconds()
+	migrations := eng.Totals().Migrations
+	eng.Stop()
+
+	return distRun{
+		Scheduler:            sched,
+		TuplesPerSec:         float64(w.Processed) / elapsed,
+		SinkTuplesPerSec:     float64(w.SinkProcessed) / elapsed,
+		InterProcessFraction: w.InterNodeFraction(),
+		Migrations:           migrations,
+	}, nil
+}
+
+// runDistRecovery runs the reliable self-fed Word Count across worker
+// processes, SIGKILLs one bolt-hosting process in steady state, and
+// measures how long the supervised respawn takes to regain 90% of the
+// pre-crash throughput — then drains the finite corpus to prove no line
+// was lost across the process death.
+func runDistRecovery(seed uint64) (recoveryRun, error) {
+	const (
+		ackTimeout     = 2 * time.Second
+		linesPerReader = 40000
+		window         = 250 * time.Millisecond
+	)
+	p := distParams()
+	p.Spouts = 1
+	p.Reliable = true
+	p.Ackers = 1
+	p.MaxPending = 256
+	p.Limit = linesPerReader
+	lines := p.Spouts * linesPerReader
+
+	eng, err := dist.NewEngine(dist.Config{
+		Nodes:       distWorkers,
+		Seed:        seed,
+		AckTimeout:  ackTimeout,
+		BackoffBase: 50 * time.Millisecond,
+	})
+	if err != nil {
+		return recoveryRun{}, err
+	}
+	initial, err := distSchedule("tstorm", eng.Cluster(), p)
+	if err != nil {
+		return recoveryRun{}, err
+	}
+	// The readers' replay ledger and the ackers' tracking are process
+	// state: pin them together on one slot and crash a different one, so
+	// the outage hits only stateless bolts (Storm loses a worker's bolts
+	// the same way; spout-side state must survive for replay to happen).
+	home := eng.Cluster().Slots()[0]
+	next := initial.Clone()
+	for exec := range next.Executors {
+		if exec.Component == "reader" || exec.Component == topology.AckerComponent {
+			next.Assign(exec, home)
+		}
+	}
+	initial = next
+	if err := eng.Submit(workloads.SelfFedWorkload, p, initial); err != nil {
+		return recoveryRun{}, err
+	}
+	if err := eng.Start(); err != nil {
+		return recoveryRun{}, err
+	}
+	defer eng.Stop()
+
+	rec := recoveryRun{
+		Scheduler:    "tstorm",
+		AckTimeoutMs: float64(ackTimeout) / float64(time.Millisecond),
+		Lines:        lines,
+		RecoveryMs:   -1,
+	}
+
+	// Steady state, then the pre-crash throughput baseline.
+	time.Sleep(time.Second)
+	t0 := eng.Totals()
+	start := time.Now()
+	time.Sleep(time.Second)
+	pre := float64(eng.Totals().Sub(t0).Processed) / time.Since(start).Seconds()
+	rec.PreCrashTuplesPerSec = pre
+
+	// Crash a worker process hosting bolts but neither readers nor
+	// ackers; the spouts keep emitting into the outage and replay what
+	// the dead process had in flight.
+	var victim cluster.SlotID
+	for _, w := range eng.Workers() {
+		if w.Slot != home {
+			victim = w.Slot
+			break
+		}
+	}
+	if victim == (cluster.SlotID{}) {
+		return rec, fmt.Errorf("no bolt-only worker to crash")
+	}
+	crashAt := time.Now()
+	if eng.CrashWorker(victim) == 0 {
+		return rec, fmt.Errorf("CrashWorker(%s) found no process", victim)
+	}
+
+	// Poll short windows until throughput regains 90% of the baseline.
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		w0 := eng.Totals()
+		ws := time.Now()
+		time.Sleep(window)
+		rate := float64(eng.Totals().Sub(w0).Processed) / time.Since(ws).Seconds()
+		if rate >= 0.9*pre {
+			rec.RecoveryMs = float64(time.Since(crashAt)) / float64(time.Millisecond)
+			break
+		}
+	}
+
+	// Drain the corpus: with a finite limit the readers stop once every
+	// line acked, so outstanding hitting zero proves at-least-once held
+	// across the process death.
+	drainDeadline := time.Now().Add(2 * time.Minute)
+	var acked, outstanding int
+	for time.Now().Before(drainDeadline) {
+		acked, outstanding, _ = eng.Audit("wordcount-live")
+		if outstanding == 0 && acked == lines {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	rec.LostRoots = lines - acked
+
+	t := eng.Totals()
+	rec.Replays = t.Replayed
+	rec.FailedRoots = t.FailedRoots
+	rec.WorkerCrashes = t.WorkerCrashes
+	rec.WorkerRestarts = t.WorkerRestarts
+	return rec, nil
+}

@@ -132,6 +132,9 @@ type liveReport struct {
 	Telemetry *telemetryOverhead `json:"telemetry_overhead,omitempty"`
 	// Decision is the decision-recording overhead comparison.
 	Decision *decisionOverhead `json:"decision_overhead,omitempty"`
+	// Distributed is the multi-process (loopback TCP) phase, written by
+	// -backend dist into the same document.
+	Distributed *distReport `json:"distributed,omitempty"`
 	// LockContentionNote records how the emission path synchronizes, with
 	// the pre-snapshot baseline for comparison.
 	LockContentionNote string `json:"lock_contention_note"`

@@ -5,6 +5,7 @@
 //
 //	tstorm-bench [-fig 5] [-duration 1000s] [-seed 1] [-csv dir]
 //	tstorm-bench -live [-duration 3s] [-json BENCH_live.json] [-telemetry addr]
+//	tstorm-bench -backend dist [-duration 3s] [-json BENCH_live.json]
 //
 // Without -fig it regenerates every figure in order. With -csv the series
 // are also written as CSV files into the given directory. With -live it
@@ -14,7 +15,11 @@
 // inter-node traffic; -json writes the results as a JSON report including
 // a telemetry-on vs telemetry-off throughput comparison. With -telemetry
 // the observability endpoints are additionally served on the given
-// address for the duration of each run.
+// address for the duration of each run. With -backend dist the benchmark
+// instead runs on the multi-process backend: real worker processes
+// (this binary re-executed) exchanging tuples over loopback TCP, with a
+// kill -9 recovery phase; -json merges a "distributed" section into the
+// live report.
 package main
 
 import (
@@ -24,23 +29,35 @@ import (
 	"path/filepath"
 	"time"
 
+	"tstorm/internal/dist"
 	"tstorm/internal/experiment"
 )
 
 func main() {
+	// MUST run before anything else (flag parsing included): when the
+	// -backend dist benchmark re-executes this binary as a worker
+	// process, this call takes over and never returns.
+	dist.RunWorkerIfChild()
+
 	fig := flag.String("fig", "", "figure ID to regenerate (table2,2,3,5,6,8,9,10,headline,baselines,gamma); empty = all")
 	duration := flag.Duration("duration", 0, "override run duration (0 = paper durations)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	csvDir := flag.String("csv", "", "directory to write per-figure CSV series into")
 	liveMode := flag.Bool("live", false, "benchmark the live (wall-clock) runtime instead of regenerating figures")
+	backend := flag.String("backend", "live", "execution backend for the live benchmark: live (in-process goroutines) or dist (real worker processes on loopback TCP)")
 	jsonPath := flag.String("json", "", "path to write the live benchmark report as JSON (with -live)")
 	telemetryAddr := flag.String("telemetry", "", "serve /metrics, /debug/placement, /debug/trace on this address during -live runs (e.g. 127.0.0.1:9090)")
 	flag.Parse()
 
 	var err error
-	if *liveMode {
+	switch {
+	case *backend == "dist":
+		err = runDist(*duration, *seed, *jsonPath)
+	case *backend != "live":
+		err = fmt.Errorf("unknown backend %q (have live, dist)", *backend)
+	case *liveMode:
 		err = runLive(*duration, *seed, *jsonPath, *telemetryAddr)
-	} else {
+	default:
 		err = run(*fig, *duration, *seed, *csvDir)
 	}
 	if err != nil {

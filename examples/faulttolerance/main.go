@@ -216,6 +216,23 @@ func runLive() {
 			fmt.Println("  " + ev.String())
 		}
 	}
+
+	// The supervisor's restart log shows the backoff schedule at work:
+	// each consecutive restart of the same executor doubles the imposed
+	// wait (the live analogue of Storm's supervisor relaunch pacing).
+	if hist := stack.Supervisor.History(); len(hist) > 0 {
+		fmt.Println("\nsupervised restart schedule:")
+		last := map[string]time.Duration{}
+		for _, r := range hist {
+			note := ""
+			if prev, ok := last[r.Executor.String()]; ok && r.Backoff != 2*prev {
+				note = "  (WARNING: not double the previous backoff)"
+			}
+			last[r.Executor.String()] = r.Backoff
+			fmt.Printf("  %s attempt %d: backoff %s, waited %s%s\n",
+				r.Executor, r.Attempt, r.Backoff, r.Waited.Round(time.Millisecond), note)
+		}
+	}
 	t := eng.Totals()
 	fmt.Println("\noutcome:")
 	fmt.Printf("  lines acked: %d of %d (lost %d)\n", audit.AckedLines(), lines, lines-audit.AckedLines())

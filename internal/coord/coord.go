@@ -5,9 +5,13 @@
 // to fetch — exactly the flows the paper routes through ZooKeeper and its
 // schedule database.
 //
-// Watch notifications are delivered asynchronously on the simulation
-// engine after a configurable notification latency, mimicking the real
-// watcher round-trip.
+// Watch notifications are delivered asynchronously after a configurable
+// notification latency, mimicking the real watcher round-trip. A store
+// built with NewStore runs on the simulation engine's virtual clock; one
+// built with NewWallStore delivers over wall-clock timers and is safe for
+// concurrent use — the distributed runtime's Nimbus publishes assignments
+// through a wall store while worker sessions watch them from other
+// goroutines.
 package coord
 
 import (
@@ -15,6 +19,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"tstorm/internal/sim"
@@ -84,7 +90,7 @@ type watcher struct {
 	path     string
 	children bool
 	fn       func(Event)
-	active   bool
+	active   atomic.Bool
 }
 
 // Watch is a handle to a registered watcher.
@@ -94,13 +100,19 @@ type Watch struct{ w *watcher }
 // notifications are still delivered but suppressed at fire time.
 func (w *Watch) Cancel() {
 	if w != nil && w.w != nil {
-		w.w.active = false
+		w.w.active.Store(false)
 	}
 }
 
 // Store is an in-memory ZooKeeper-like coordination service.
 type Store struct {
-	eng         *sim.Engine
+	// mu guards the tree and the watcher registry. The simulation drives
+	// a store from a single goroutine, so the lock is uncontended there;
+	// the wall-clock variant is hit concurrently by Nimbus and its worker
+	// sessions. Watcher callbacks always run outside the lock (scheduled
+	// asynchronously), so they may re-enter the store freely.
+	mu          sync.Mutex
+	eng         *sim.Engine // nil for wall-clock stores
 	root        *znode
 	notifyDelay time.Duration
 	watchers    map[string][]*watcher // node path → watchers
@@ -119,6 +131,24 @@ func NewStore(eng *sim.Engine, notifyDelay time.Duration) *Store {
 		notifyDelay: notifyDelay,
 		watchers:    make(map[string][]*watcher),
 	}
+}
+
+// NewWallStore returns an empty store on the wall clock: notifications
+// fire on real timers after notifyDelay and every operation is safe for
+// concurrent use. This is the store the distributed runtime's control
+// plane publishes assignments through.
+func NewWallStore(notifyDelay time.Duration) *Store {
+	return NewStore(nil, notifyDelay)
+}
+
+// after schedules fn on the store's clock: the simulation engine's
+// virtual timeline, or a wall timer for wall stores.
+func (s *Store) after(fn func()) {
+	if s.eng != nil {
+		s.eng.After(s.notifyDelay, fn)
+		return
+	}
+	time.AfterFunc(s.notifyDelay, fn)
 }
 
 // split validates and splits an absolute path like "/a/b" into components.
@@ -162,6 +192,12 @@ func (s *Store) lookup(parts []string) (*znode, bool) {
 // already exist ("/" always exists). It returns ErrNodeExists if the node
 // is already present.
 func (s *Store) Create(path string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.createLocked(path, data)
+}
+
+func (s *Store) createLocked(path string, data []byte) error {
 	parts, err := split(path)
 	if err != nil {
 		return err
@@ -189,6 +225,12 @@ func (s *Store) Create(path string, data []byte) error {
 // (missing ancestors get nil data). Existing nodes are left untouched;
 // if the leaf exists its data is NOT changed and ErrNodeExists is returned.
 func (s *Store) CreateAll(path string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.createAllLocked(path, data)
+}
+
+func (s *Store) createAllLocked(path string, data []byte) error {
 	parts, err := split(path)
 	if err != nil {
 		return err
@@ -197,12 +239,12 @@ func (s *Store) CreateAll(path string, data []byte) error {
 	for i := range parts[:max(0, len(parts)-1)] {
 		cur = join(cur, parts[i])
 		if _, ok := s.lookup(parts[:i+1]); !ok {
-			if err := s.Create(cur, nil); err != nil {
+			if err := s.createLocked(cur, nil); err != nil {
 				return err
 			}
 		}
 	}
-	return s.Create(path, data)
+	return s.createLocked(path, data)
 }
 
 func join(dir, name string) string {
@@ -216,6 +258,12 @@ func join(dir, name string) string {
 // matches any version; otherwise ErrBadVersion is returned on mismatch.
 // It returns the new version.
 func (s *Store) Set(path string, data []byte, expectVersion int) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.setLocked(path, data, expectVersion)
+}
+
+func (s *Store) setLocked(path string, data []byte, expectVersion int) (int, error) {
 	parts, err := split(path)
 	if err != nil {
 		return 0, err
@@ -236,17 +284,25 @@ func (s *Store) Set(path string, data []byte, expectVersion int) (int, error) {
 // SetOrCreate writes data at path, creating the node (and ancestors) if
 // needed. It returns the resulting version.
 func (s *Store) SetOrCreate(path string, data []byte) (int, error) {
-	if _, _, err := s.Get(path); errors.Is(err, ErrNoNode) {
-		if err := s.CreateAll(path, data); err != nil {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	parts, err := split(path)
+	if err != nil {
+		return 0, err
+	}
+	if _, ok := s.lookup(parts); !ok {
+		if err := s.createAllLocked(path, data); err != nil {
 			return 0, err
 		}
 		return 0, nil
 	}
-	return s.Set(path, data, -1)
+	return s.setLocked(path, data, -1)
 }
 
 // Get returns a copy of the data and the version at path.
 func (s *Store) Get(path string) ([]byte, int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	parts, err := split(path)
 	if err != nil {
 		return nil, 0, err
@@ -260,6 +316,8 @@ func (s *Store) Get(path string) ([]byte, int, error) {
 
 // Exists reports whether a znode is present at path.
 func (s *Store) Exists(path string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	parts, err := split(path)
 	if err != nil {
 		return false
@@ -270,6 +328,8 @@ func (s *Store) Exists(path string) bool {
 
 // Stat returns metadata for the znode at path.
 func (s *Store) Stat(path string) (Stat, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	parts, err := split(path)
 	if err != nil {
 		return Stat{}, err
@@ -283,6 +343,8 @@ func (s *Store) Stat(path string) (Stat, error) {
 
 // Children returns the sorted child names of the znode at path.
 func (s *Store) Children(path string) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	parts, err := split(path)
 	if err != nil {
 		return nil, err
@@ -302,6 +364,8 @@ func (s *Store) Children(path string) ([]string, error) {
 // Delete removes the znode at path. It returns ErrNotEmpty if the node
 // still has children.
 func (s *Store) Delete(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	parts, err := split(path)
 	if err != nil {
 		return err
@@ -330,27 +394,33 @@ func (s *Store) Delete(path string) error {
 // WatchData registers a persistent watcher for data changes (create,
 // change, delete) of the znode at path. The node need not exist yet.
 func (s *Store) WatchData(path string, fn func(Event)) *Watch {
-	w := &watcher{path: path, fn: fn, active: true}
+	w := &watcher{path: path, fn: fn}
+	w.active.Store(true)
+	s.mu.Lock()
 	s.watchers[path] = append(s.watchers[path], w)
+	s.mu.Unlock()
 	return &Watch{w: w}
 }
 
 // WatchChildren registers a persistent watcher fired whenever the set of
 // children of path changes. The event carries Type EventChildren.
 func (s *Store) WatchChildren(path string, fn func(Event)) *Watch {
-	w := &watcher{path: path, children: true, fn: fn, active: true}
+	w := &watcher{path: path, children: true, fn: fn}
+	w.active.Store(true)
+	s.mu.Lock()
 	s.watchers[path] = append(s.watchers[path], w)
+	s.mu.Unlock()
 	return &Watch{w: w}
 }
 
 func (s *Store) notify(path string, ev Event) {
 	for _, w := range s.watchers[path] {
-		if !w.active || w.children {
+		if !w.active.Load() || w.children {
 			continue
 		}
 		w := w
-		s.eng.After(s.notifyDelay, func() {
-			if w.active {
+		s.after(func() {
+			if w.active.Load() {
 				w.fn(ev)
 			}
 		})
@@ -359,13 +429,13 @@ func (s *Store) notify(path string, ev Event) {
 
 func (s *Store) notifyChildren(dir string) {
 	for _, w := range s.watchers[dir] {
-		if !w.active || !w.children {
+		if !w.active.Load() || !w.children {
 			continue
 		}
 		w := w
 		ev := Event{Type: EventChildren, Path: dir}
-		s.eng.After(s.notifyDelay, func() {
-			if w.active {
+		s.after(func() {
+			if w.active.Load() {
 				w.fn(ev)
 			}
 		})

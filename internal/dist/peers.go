@@ -1,0 +1,207 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tstorm/internal/cluster"
+)
+
+// Data-plane wire format: length-prefixed frames over persistent per-peer
+// TCP connections. Each frame is
+//
+//	[u32 length][u32 generation][u8 hops][live binary frame]
+//
+// with length covering everything after itself (5 + len(frame), big
+// endian). The generation is the sender's assignment generation at
+// dispatch, so a receiver can tell pre-reassignment traffic from current
+// traffic (§IV-D's dispatcher distinguishes tuples emitted under the old
+// schedule); hops is the forwarding budget left for frames that land on a
+// worker which no longer hosts the target executor mid-migration.
+const (
+	frameHeaderLen = 4 + 4 + 1
+	// maxWireFrame caps one data frame; anything larger is a corrupt or
+	// hostile length prefix and the connection is dropped.
+	maxWireFrame = 64 << 20
+	// DefaultMaxHops is the forwarding budget for frames chasing a migrated
+	// executor. Two covers every single reassignment race (sender stale,
+	// then forwarder stale); a third absorbs back-to-back generations.
+	DefaultMaxHops = 3
+
+	dialTimeout  = 2 * time.Second
+	writeTimeout = 10 * time.Second
+)
+
+// writeWireFrame appends the header and writes one frame to w.
+func writeWireFrame(w io.Writer, gen uint32, hops byte, frame []byte) error {
+	if len(frame) > maxWireFrame-5 {
+		return fmt.Errorf("dist: frame of %d bytes exceeds wire cap", len(frame))
+	}
+	buf := make([]byte, frameHeaderLen+len(frame))
+	binary.BigEndian.PutUint32(buf[0:4], uint32(5+len(frame)))
+	binary.BigEndian.PutUint32(buf[4:8], gen)
+	buf[8] = hops
+	copy(buf[frameHeaderLen:], frame)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readWireFrame reads one frame off r, enforcing the length cap before
+// allocating.
+func readWireFrame(r *bufio.Reader) (gen uint32, hops byte, frame []byte, err error) {
+	var hdr [frameHeaderLen]byte
+	if _, err = io.ReadFull(r, hdr[:4]); err != nil {
+		return 0, 0, nil, err
+	}
+	length := binary.BigEndian.Uint32(hdr[:4])
+	if length < 5 || length > maxWireFrame {
+		return 0, 0, nil, fmt.Errorf("dist: wire frame length %d out of bounds", length)
+	}
+	if _, err = io.ReadFull(r, hdr[4:]); err != nil {
+		return 0, 0, nil, err
+	}
+	gen = binary.BigEndian.Uint32(hdr[4:8])
+	hops = hdr[8]
+	frame = make([]byte, length-5)
+	if _, err = io.ReadFull(r, frame); err != nil {
+		return 0, 0, nil, err
+	}
+	return gen, hops, frame, nil
+}
+
+// peerConn is one lazily dialed, persistent connection to a peer worker's
+// data listener. Writes are serialized per connection; a write error drops
+// the connection so the next send redials.
+type peerConn struct {
+	mu   sync.Mutex
+	addr string
+	c    net.Conn
+}
+
+// peerSet implements live.RemoteSink for a worker: it owns the slot→addr
+// map published by the driver and the persistent connections to each peer.
+// Send is called from executor goroutines (possibly several at once), so
+// everything is lock-protected per peer.
+type peerSet struct {
+	local   cluster.SlotID
+	maxHops int
+
+	mu    sync.Mutex
+	addrs map[cluster.SlotID]string
+	conns map[cluster.SlotID]*peerConn
+
+	// gen is the worker's current assignment generation, stamped on every
+	// outgoing frame.
+	gen atomic.Uint32
+
+	// undialable counts sends dropped because no route existed or the peer
+	// could not be reached (the sender's engine separately counts these in
+	// Totals.RemoteDropped via Send's false return).
+	undialable atomic.Int64
+}
+
+func newPeerSet(local cluster.SlotID, maxHops int) *peerSet {
+	if maxHops <= 0 {
+		maxHops = DefaultMaxHops
+	}
+	return &peerSet{
+		local:   local,
+		maxHops: maxHops,
+		addrs:   make(map[cluster.SlotID]string),
+		conns:   make(map[cluster.SlotID]*peerConn),
+	}
+}
+
+// update installs a fresh slot→addr map. A peer whose address changed
+// (respawned worker) gets its stale connection closed so the next send
+// dials the new process.
+func (p *peerSet) update(entries []peerEntry) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fresh := make(map[cluster.SlotID]string, len(entries))
+	for _, e := range entries {
+		fresh[e.Slot] = e.Addr
+	}
+	for slot, pc := range p.conns {
+		if addr, ok := fresh[slot]; !ok || addr != pc.addr {
+			pc.mu.Lock()
+			if pc.c != nil {
+				pc.c.Close()
+				pc.c = nil
+			}
+			pc.mu.Unlock()
+			delete(p.conns, slot)
+		}
+	}
+	p.addrs = fresh
+}
+
+// Send implements live.RemoteSink: encode-side transfer of one frame to
+// the worker owning slot `to`. False means undeliverable — the engine
+// counts the drop and at-least-once replay recovers the tuples.
+func (p *peerSet) Send(to cluster.SlotID, frame []byte) bool {
+	return p.send(to, frame, byte(p.maxHops))
+}
+
+// send writes one frame with an explicit hop budget (forwarding decrements
+// it). One redial is attempted on a stale connection; after that the frame
+// is dropped rather than blocking the executor on a dead peer.
+func (p *peerSet) send(to cluster.SlotID, frame []byte, hops byte) bool {
+	p.mu.Lock()
+	addr, ok := p.addrs[to]
+	if !ok {
+		p.mu.Unlock()
+		p.undialable.Add(1)
+		return false
+	}
+	pc := p.conns[to]
+	if pc == nil {
+		pc = &peerConn{addr: addr}
+		p.conns[to] = pc
+	}
+	p.mu.Unlock()
+
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	for attempt := 0; attempt < 2; attempt++ {
+		if pc.c == nil {
+			c, err := net.DialTimeout("tcp", pc.addr, dialTimeout)
+			if err != nil {
+				p.undialable.Add(1)
+				return false
+			}
+			pc.c = c
+		}
+		pc.c.SetWriteDeadline(time.Now().Add(writeTimeout))
+		if err := writeWireFrame(pc.c, p.gen.Load(), hops, frame); err != nil {
+			pc.c.Close()
+			pc.c = nil
+			continue
+		}
+		pc.c.SetWriteDeadline(time.Time{})
+		return true
+	}
+	p.undialable.Add(1)
+	return false
+}
+
+// closeAll tears down every peer connection (worker shutdown).
+func (p *peerSet) closeAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for slot, pc := range p.conns {
+		pc.mu.Lock()
+		if pc.c != nil {
+			pc.c.Close()
+			pc.c = nil
+		}
+		pc.mu.Unlock()
+		delete(p.conns, slot)
+	}
+}

@@ -1,0 +1,76 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"tstorm/internal/engine"
+)
+
+// Worker processes cannot receive Go closures over the wire, so workloads
+// cross it by name: the driver ships a registered workload's name plus a
+// JSON parameter blob, and the worker — the same binary, so the same
+// registrations — rebuilds the topology locally. This is Storm's model
+// too: a worker JVM instantiates the same spout/bolt classes from the
+// same jar, configured by the serialized conf.
+
+// AuditFn reports a workload's at-least-once conservation gauges from
+// inside a worker: completed roots, roots still in flight, and replay
+// count. Workers that host none of the workload's spouts return zeros.
+type AuditFn func() (acked, outstanding, restarts int)
+
+// Built is what a workload factory hands back: the app to submit, and an
+// optional audit hook polled by heartbeats.
+type Built struct {
+	App   *engine.App
+	Audit AuditFn
+}
+
+// BuildFn constructs a workload instance from its wire parameters. It
+// runs once per process (driver and every worker).
+type BuildFn func(params json.RawMessage) (Built, error)
+
+var (
+	regMu    sync.Mutex
+	registry = map[string]BuildFn{}
+)
+
+// RegisterWorkload makes a workload constructible by name in worker
+// processes. Call it from package init so driver and re-executed workers
+// agree; registering a duplicate name panics to surface the init bug.
+func RegisterWorkload(name string, fn BuildFn) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if name == "" || fn == nil {
+		panic("dist: RegisterWorkload with empty name or nil builder")
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("dist: workload %q registered twice", name))
+	}
+	registry[name] = fn
+}
+
+// buildWorkload resolves a registered workload and builds it.
+func buildWorkload(name string, params json.RawMessage) (Built, error) {
+	regMu.Lock()
+	fn, ok := registry[name]
+	regMu.Unlock()
+	if !ok {
+		return Built{}, fmt.Errorf("dist: workload %q not registered (known: %v)", name, registeredWorkloads())
+	}
+	return fn(params)
+}
+
+// registeredWorkloads lists registration names, sorted, for error text.
+func registeredWorkloads() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -90,18 +90,28 @@ func (eng *Engine) sendCtl(from *liveExec, to *liveExec, msgs []ctlMsg, die <-ch
 		return true
 	}
 	n := int64(len(msgs))
-	if to.dead.Load() {
-		eng.dropped.Add(n)
-		return true
-	}
-	select {
-	case to.ctl <- msgs:
-	case <-eng.stopCh:
-		return false
-	case <-die:
-		return false
-	}
 	rt := eng.routes.Load()
+	if !rt.local[to.dense] {
+		// Acker in another worker process: ship the batch as a ctl frame
+		// (counted as traffic below, like the channel path — the sender
+		// owns all counting).
+		if !eng.remoteSend(rt.slotOf[to.dense], encodeCtlFrame(to.id, msgs)) {
+			eng.dropped.Add(n)
+			return true
+		}
+	} else {
+		if to.dead.Load() {
+			eng.dropped.Add(n)
+			return true
+		}
+		select {
+		case to.ctl <- msgs:
+		case <-eng.stopCh:
+			return false
+		case <-die:
+			return false
+		}
+	}
 	srcSlot, dstSlot := rt.slotOf[from.dense], rt.slotOf[to.dense]
 	hop := hopLocal
 	switch {
@@ -204,6 +214,13 @@ func (le *liveExec) notifyComplete(c acker.Completion) {
 	}
 	sp := rt.byDense[c.SpoutExec]
 	if sp.kind != spoutExec {
+		return
+	}
+	if !rt.local[sp.dense] {
+		// Spout in another worker process: ship the completion as an ack
+		// frame; an undeliverable event recovers via the spout's wheel.
+		le.eng.remoteSend(rt.slotOf[sp.dense],
+			encodeAckFrame(sp.id, []ackEvent{{root: c.Root, late: c.Late}}))
 		return
 	}
 	sp.ackMu.Lock()

@@ -229,6 +229,58 @@ func TestChaosCrashBoltWorkerSteadyState(t *testing.T) {
 	}
 }
 
+// TestChaosSupervisorBackoffExponential crashes the same bolt worker
+// repeatedly and asserts — from the supervisor's restart log, not just
+// the restart count — that the imposed backoff genuinely doubles per
+// consecutive restart and that the observed crash→restart wait honored
+// it every time.
+func TestChaosSupervisorBackoffExponential(t *testing.T) {
+	h := startChaos(t, 6000, 60*time.Millisecond)
+	waitFor(t, 10*time.Second, "steady-state acks", func() bool {
+		return h.ledger.ackedCount() > 30
+	})
+
+	const rounds = 3
+	for i := 0; i < rounds; i++ {
+		if killed := h.eng.CrashWorker(h.slotMid); killed != 2 {
+			t.Fatalf("round %d: CrashWorker killed %d executors, want 2", i+1, killed)
+		}
+		want := 2 * (i + 1)
+		waitFor(t, 15*time.Second, "restarts after crash round", func() bool {
+			return h.sup.Restarts() >= want
+		})
+	}
+
+	perExec := map[topology.ExecutorID][]RestartRecord{}
+	for _, rec := range h.sup.History() {
+		perExec[rec.Executor] = append(perExec[rec.Executor], rec)
+	}
+	if len(perExec) != 2 {
+		t.Fatalf("history covers %d executors, want the 2 mid bolts", len(perExec))
+	}
+	for exec, recs := range perExec {
+		if len(recs) != rounds {
+			t.Fatalf("%s has %d restart records, want %d", exec, len(recs), rounds)
+		}
+		for i, rec := range recs {
+			if rec.Attempt != i+1 {
+				t.Errorf("%s record %d: attempt %d, want %d", exec, i, rec.Attempt, i+1)
+			}
+			if want := h.sup.Backoff(i); rec.Backoff != want {
+				t.Errorf("%s attempt %d: imposed backoff %s, want %s", exec, i+1, rec.Backoff, want)
+			}
+			if i > 0 && rec.Backoff != 2*recs[i-1].Backoff {
+				t.Errorf("%s attempt %d: backoff %s is not double the previous %s — schedule not exponential",
+					exec, i+1, rec.Backoff, recs[i-1].Backoff)
+			}
+			if rec.Waited < rec.Backoff {
+				t.Errorf("%s attempt %d: waited %s, less than the imposed backoff %s",
+					exec, i+1, rec.Waited, rec.Backoff)
+			}
+		}
+	}
+}
+
 // TestChaosCrashSpoutWorker kills the slot hosting the spout, acker and
 // sink together: the fresh spout incarnation must re-issue everything the
 // dead one had in flight (its wheel and the acker's tracking died too).

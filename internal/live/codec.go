@@ -107,11 +107,35 @@ func encodeValues(vals tuple.Values) ([]byte, []any) {
 	return buf, extras
 }
 
-// decodeValues reverses encodeValues.
+// EncodeValues serializes a tuple payload with the live wire codec.
+// Values outside the supported scalar set are returned in extras (passed
+// by reference, in order of appearance); a payload with a non-empty extras
+// list cannot cross a process boundary.
+func EncodeValues(vals tuple.Values) (buf []byte, extras []any) {
+	return encodeValues(vals)
+}
+
+// DecodeValues reverses EncodeValues. It is safe on untrusted input:
+// truncated, corrupt, or adversarial-length payloads return an error —
+// never a panic, and never an allocation larger than the input itself.
+func DecodeValues(buf []byte, extras []any) (tuple.Values, error) {
+	return decodeValues(buf, extras)
+}
+
+// decodeValues reverses encodeValues. The input may come off a socket, so
+// every length read from the buffer is validated against the bytes that
+// actually remain before it is used for allocation or slicing: a value
+// count or byte length can claim at most what the frame physically holds
+// (each value costs at least its tag byte), which bounds allocations by
+// the input size and keeps a huge uint64 length from sneaking through an
+// int conversion as a negative number.
 func decodeValues(buf []byte, extras []any) (tuple.Values, error) {
 	n, off := binary.Uvarint(buf)
 	if off <= 0 {
 		return nil, fmt.Errorf("live: bad payload header")
+	}
+	if n > uint64(len(buf)-off) {
+		return nil, fmt.Errorf("live: payload claims %d values in %d bytes", n, len(buf)-off)
 	}
 	pos := off
 	vals := make(tuple.Values, 0, n)
@@ -145,7 +169,7 @@ func decodeValues(buf []byte, extras []any) (tuple.Values, error) {
 			if err != nil {
 				return nil, err
 			}
-			if pos+int(l) > len(buf) {
+			if l > uint64(len(buf)-pos) {
 				return nil, fmt.Errorf("live: truncated %d-byte value at %d", l, pos)
 			}
 			raw := buf[pos : pos+int(l)]

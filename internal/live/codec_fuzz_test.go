@@ -1,0 +1,173 @@
+package live
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"tstorm/internal/topology"
+	"tstorm/internal/tuple"
+)
+
+// The codec and the frame decoder read bytes straight off sockets in the
+// distributed runtime, so they must tolerate arbitrary input: any byte
+// string either decodes or returns an error — never a panic, and never an
+// allocation larger than the input. These fuzz targets (run for 30s in
+// ci.sh) plus the deterministic adversarial cases below enforce that.
+
+// codecSeedValues are payloads covering every tag the codec knows.
+func codecSeedValues() []tuple.Values {
+	return []tuple.Values{
+		{},
+		{nil},
+		{"the quick brown fox", int(42), true},
+		{[]byte{0, 1, 2, 255}, int8(-8), int16(-16), int32(-32), int64(-64)},
+		{uint(1), uint8(2), uint16(3), uint32(4), uint64(1 << 60)},
+		{float32(3.14), float64(-2.718), "", []byte{}},
+		{"word", int64(9000), "word", int64(9000)},
+	}
+}
+
+func FuzzDecodeValues(f *testing.F) {
+	for _, vals := range codecSeedValues() {
+		enc, _ := EncodeValues(vals)
+		f.Add(enc)
+		if len(enc) > 1 {
+			f.Add(enc[:len(enc)/2]) // truncation seeds
+		}
+	}
+	// Adversarial-length seeds: huge claimed counts and byte lengths.
+	f.Add(binary.AppendUvarint(nil, 1<<62))
+	f.Add(append(binary.AppendUvarint(nil, 1), tagString, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals, err := DecodeValues(data, nil)
+		if err != nil {
+			return
+		}
+		// A successful decode must re-encode and decode to the same values
+		// (extras cannot appear: nil extras would have failed the decode).
+		enc, extras := EncodeValues(vals)
+		if len(extras) != 0 {
+			t.Fatalf("decoded values produced extras: %v", extras)
+		}
+		back, err := DecodeValues(enc, nil)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(back) != len(vals) {
+			t.Fatalf("round trip changed arity: %d != %d", len(back), len(vals))
+		}
+	})
+}
+
+func FuzzDecodeFrame(f *testing.F) {
+	to := topology.ExecutorID{Topology: "wc", Component: "split", Index: 1}
+	enc, _ := encodeValues(tuple.Values{"hello world", int(7)})
+	dataFrame, _ := encodeDataFrame(to, []liveMsg{{
+		tup: tuple.Tuple{
+			Root: 0xdeadbeef, Edge: 0xfeed, Stream: "default",
+			SrcComponent: "reader", SrcTask: 0, Size: 16,
+		},
+		enc:    enc,
+		bornAt: time.Unix(0, 1_700_000_000_000_000_000),
+		from:   3,
+	}})
+	f.Add(dataFrame)
+	f.Add(encodeCtlFrame(to, []ctlMsg{
+		{kind: ctlInit, root: 1, xor: 2, spoutDense: 0, emitAt: time.Unix(0, 12345)},
+		{kind: ctlAck, root: 1, xor: 2},
+	}))
+	f.Add(encodeAckFrame(to, []ackEvent{{root: 99, late: true}}))
+	for _, seed := range [][]byte{dataFrame[:len(dataFrame)/2], {frameData}, {frameCtl, 0}, {0xff}} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frame, err := decodeFrame(data)
+		if err != nil {
+			return
+		}
+		// Decoded frames must hold exactly one kind of content.
+		n := 0
+		if len(frame.data) > 0 {
+			n++
+		}
+		if len(frame.ctl) > 0 {
+			n++
+		}
+		if len(frame.acks) > 0 {
+			n++
+		}
+		if n > 1 {
+			t.Fatalf("frame decoded to multiple kinds: %+v", frame)
+		}
+	})
+}
+
+func TestDecodeValuesAdversarial(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":           {},
+		"huge count":      binary.AppendUvarint(nil, 1<<62),
+		"count overflows": {0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01},
+		"huge string len": append(binary.AppendUvarint(nil, 1),
+			append([]byte{tagString}, binary.AppendUvarint(nil, 1<<63)...)...),
+		"string len wraps int": append(binary.AppendUvarint(nil, 1),
+			append([]byte{tagBytes}, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01)...),
+		"truncated float": append(binary.AppendUvarint(nil, 1), tagFloat64, 1, 2),
+		"bad tag":         append(binary.AppendUvarint(nil, 1), 0x7f),
+		"extra oob":       append(binary.AppendUvarint(nil, 1), tagExtra, 5),
+	}
+	for name, data := range cases {
+		if _, err := DecodeValues(data, nil); err == nil {
+			t.Errorf("%s: expected error, got none", name)
+		}
+	}
+}
+
+func TestDecodeValuesRoundTrip(t *testing.T) {
+	for _, vals := range codecSeedValues() {
+		enc, extras := EncodeValues(vals)
+		got, err := DecodeValues(enc, extras)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if len(got) != len(vals) {
+			t.Fatalf("arity %d != %d", len(got), len(vals))
+		}
+		for i := range vals {
+			switch want := vals[i].(type) {
+			case []byte:
+				if !bytes.Equal(want, got[i].([]byte)) {
+					t.Fatalf("value %d: %v != %v", i, got[i], want)
+				}
+			default:
+				if got[i] != vals[i] {
+					t.Fatalf("value %d: %#v != %#v", i, got[i], vals[i])
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeFrameAdversarial(t *testing.T) {
+	to := topology.ExecutorID{Topology: "wc", Component: "split", Index: 0}
+	good := encodeCtlFrame(to, []ctlMsg{{kind: ctlAck, root: 7, xor: 9}})
+	cases := map[string][]byte{
+		"empty":         {},
+		"unknown kind":  {0x42},
+		"trailing junk": append(append([]byte(nil), good...), 0xee),
+		"huge ctl count": append(appendFrameHeader(nil, frameCtl, to),
+			0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01),
+		"truncated header": good[:3],
+		"data bad count": append(appendFrameHeader(nil, frameData, to),
+			0xff, 0xff, 0xff, 0xff),
+	}
+	for name, data := range cases {
+		if _, err := decodeFrame(data); err == nil {
+			t.Errorf("%s: expected error, got none", name)
+		}
+	}
+	if f, err := decodeFrame(good); err != nil || len(f.ctl) != 1 {
+		t.Fatalf("good frame failed: %v %+v", err, f)
+	}
+}

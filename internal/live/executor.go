@@ -30,6 +30,11 @@ const (
 	// stateDead: goroutine reaped, drainer (if any) discarding its queue;
 	// the supervisor may restart it.
 	stateDead
+	// stateRemote: the executor runs in another worker process; this
+	// liveExec is a routing proxy (no goroutine, no user code). A
+	// migration may promote it to stateAlive — or demote a local executor
+	// here, starting a pump that forwards stranded queue contents.
+	stateRemote
 )
 
 // liveMsg is one tuple in flight between two executors. For remote hops
@@ -103,6 +108,11 @@ type liveExec struct {
 	crashedAt time.Time
 	drainStop chan struct{}
 	drainDone chan struct{}
+	// pumpStop/pumpDone control the stranded-queue forwarder that runs
+	// while the executor is stateRemote after a migration away from this
+	// process (guarded by eng.mu, like the drainer pair).
+	pumpStop chan struct{}
+	pumpDone chan struct{}
 
 	cpuNanos  atomic.Int64 // busy time since last monitor drain
 	processed atomic.Int64 // lifetime tuples processed

@@ -9,10 +9,28 @@ import (
 	"tstorm/internal/cluster"
 	"tstorm/internal/core"
 	"tstorm/internal/decision"
+	"tstorm/internal/engine"
 	"tstorm/internal/loaddb"
 	"tstorm/internal/scheduler"
 	"tstorm/internal/topology"
 )
+
+// SchedulerTarget is the engine surface the generator schedules against.
+// The in-process *Engine implements it directly; the distributed engine
+// (internal/dist) implements it over its worker fleet, so the identical
+// generator — and the identical Algorithm 1 — drives both backends.
+type SchedulerTarget interface {
+	Topologies() []string
+	App(name string) (*engine.App, bool)
+	Cluster() *cluster.Cluster
+	CurrentAssignment(name string) (*cluster.Assignment, bool)
+	DownNodes() []cluster.NodeID
+	Apply(name string, next *cluster.Assignment) (int, error)
+	Totals() Totals
+	Done() <-chan struct{}
+}
+
+var _ SchedulerTarget = (*Engine)(nil)
 
 // GeneratorConfig holds the live schedule generator's knobs.
 type GeneratorConfig struct {
@@ -46,7 +64,7 @@ func DefaultGeneratorConfig() GeneratorConfig {
 // path, and applies improving schedules through Engine.Apply. Algorithms
 // hot-swap exactly as in the simulated stack.
 type Generator struct {
-	eng *Engine
+	eng SchedulerTarget
 	db  *loaddb.DB
 	cfg GeneratorConfig
 
@@ -63,7 +81,7 @@ type Generator struct {
 
 // StartGenerator launches the periodic generation goroutine. algo is the
 // initial algorithm (also registered for later swap-backs).
-func StartGenerator(eng *Engine, db *loaddb.DB, cfg GeneratorConfig, algo scheduler.Algorithm) (*Generator, error) {
+func StartGenerator(eng SchedulerTarget, db *loaddb.DB, cfg GeneratorConfig, algo scheduler.Algorithm) (*Generator, error) {
 	if cfg.Period <= 0 {
 		return nil, fmt.Errorf("live: non-positive generator period")
 	}
@@ -95,7 +113,7 @@ func (g *Generator) loop() {
 		select {
 		case <-g.stop:
 			return
-		case <-g.eng.stopCh:
+		case <-g.eng.Done():
 			return
 		case <-tk.C:
 			g.Generate()

@@ -102,6 +102,17 @@ type Config struct {
 	// monitor additionally reports sampling rounds and overload
 	// detections through it. Nil disables tracing.
 	Trace *trace.Recorder
+	// LocalSlots, when non-empty, restricts execution to executors placed
+	// on the named slots: everything else becomes a routing proxy whose
+	// transfers leave through Remote as encoded frames. This is how a
+	// distributed worker process runs its share of a topology with the
+	// full engine — all processes submit identical topologies in identical
+	// order, so dense executor indexes agree fleet-wide. Empty (the
+	// default) means every slot is local: the classic in-process engine.
+	LocalSlots []cluster.SlotID
+	// Remote carries frames to the worker processes owning non-local
+	// slots. Required when LocalSlots is set.
+	Remote RemoteSink
 }
 
 // DefaultConfig returns the default live configuration.
@@ -170,6 +181,9 @@ type Engine struct {
 	// reporting the node and the generator fences it off Algorithm 1's
 	// candidate set until RecoverNode.
 	downNodes map[cluster.NodeID]bool
+	// localSlots restricts execution to the named slots (nil = all local);
+	// see Config.LocalSlots.
+	localSlots map[cluster.SlotID]bool
 
 	denseRev []topology.ExecutorID
 
@@ -267,10 +281,35 @@ func NewEngine(cfg Config, cl *cluster.Cluster) (*Engine, error) {
 		latency:   metrics.NewSyncLatencyHistogram(),
 		rootLat:   metrics.NewSyncLatencyHistogram(),
 	}
+	if len(cfg.LocalSlots) > 0 {
+		if cfg.Remote == nil {
+			return nil, fmt.Errorf("live: LocalSlots requires a Remote sink")
+		}
+		eng.localSlots = make(map[cluster.SlotID]bool, len(cfg.LocalSlots))
+		for _, s := range cfg.LocalSlots {
+			if _, ok := cl.Node(s.Node); !ok {
+				return nil, fmt.Errorf("live: local slot %s on unknown node", s)
+			}
+			eng.localSlots[s] = true
+		}
+	}
 	eng.ackTimeout.Store(int64(cfg.AckTimeout))
 	eng.maxPending.Store(int64(cfg.MaxPending))
 	eng.routes.Store(emptyRouteTable())
 	return eng, nil
+}
+
+// isLocalSlot reports whether executors on the slot execute in this
+// process (always true for the classic in-process engine).
+func (eng *Engine) isLocalSlot(s cluster.SlotID) bool {
+	return eng.localSlots == nil || eng.localSlots[s]
+}
+
+// Local reports whether an executor currently executes in this process.
+func (eng *Engine) Local(e topology.ExecutorID) bool {
+	rt := eng.routes.Load()
+	le := rt.executor(e.Topology, e.Component, e.Index)
+	return le != nil && rt.local[le.dense]
 }
 
 // AckTimeout returns the effective root timeout.
@@ -340,6 +379,9 @@ func (eng *Engine) Submit(app *engine.App, initial *cluster.Assignment) error {
 		s := initial.Executors[e]
 		eng.placement[e] = s
 		eng.groups[s] = append(eng.groups[s], le)
+		if !eng.isLocalSlot(s) {
+			le.state = stateRemote
+		}
 	}
 	eng.rebuildRoutesLocked()
 	return nil
@@ -424,6 +466,11 @@ func (eng *Engine) Start() error {
 			Parallelism: le.comp.Parallelism,
 			Rand:        le.rand,
 		}
+		if le.state == stateRemote {
+			// Routing proxy: context built (a later migration may promote it
+			// to local), user code neither instantiated nor opened here.
+			continue
+		}
 		switch le.kind {
 		case spoutExec:
 			le.spout.Open(le.ctx)
@@ -435,11 +482,23 @@ func (eng *Engine) Start() error {
 	eng.edges.Store(&edgeMatrix{n: n, counts: make([]edgeCounter, n*n)})
 	eng.epoch = time.Now()
 	for _, le := range eng.execs {
+		if le.state == stateRemote {
+			continue
+		}
 		eng.wg.Add(1)
 		go le.run(le.die, le.gone)
 	}
 	return nil
 }
+
+// Pending reports how many tuples are queued or being processed in this
+// process right now — the distributed driver polls every worker's value
+// to quiesce the fleet before a migration.
+func (eng *Engine) Pending() int64 { return eng.pending.Load() }
+
+// Done is closed when the engine stops; the generator and monitor loops
+// (and the dist layer's pollers) select on it.
+func (eng *Engine) Done() <-chan struct{} { return eng.stopCh }
 
 // simNow converts a wall instant to the engine's sim.Time axis (the unit
 // the acker Trackers keep internally).

@@ -21,6 +21,17 @@ const DefaultMonitorPeriod = 20 * time.Second
 // so it flags the more alarming level).
 const monitorOverloadThreshold = 0.9
 
+// LoadSink receives sampled monitor windows. The in-process runtime wires
+// a *loaddb.DB directly; a distributed worker wires a proxy that ships
+// each window over its control connection into the driver's database, so
+// the unchanged loaddb/scheduler stack consumes fleet-wide measurements.
+type LoadSink interface {
+	ApplyWindow(loads map[topology.ExecutorID]float64, flows map[loaddb.FlowKey]float64)
+	Forget(topo string)
+}
+
+var _ LoadSink = (*loaddb.DB)(nil)
+
 // Monitor is the live-runtime load monitor (§IV-B over wall-clock time):
 // every period it drains each executor's accumulated CPU time and the
 // inter-executor tuple counts, converts them to instantaneous MHz and
@@ -29,7 +40,7 @@ const monitorOverloadThreshold = 0.9
 // algorithms consume live measurements transparently.
 type Monitor struct {
 	eng    *Engine
-	db     *loaddb.DB
+	db     LoadSink
 	period time.Duration
 
 	// sampleMu serializes sampling rounds (the periodic loop against
@@ -63,7 +74,7 @@ type Monitor struct {
 
 // StartMonitor launches the sampling goroutine. The first sample is taken
 // one full period after start.
-func StartMonitor(eng *Engine, db *loaddb.DB, period time.Duration) *Monitor {
+func StartMonitor(eng *Engine, db LoadSink, period time.Duration) *Monitor {
 	if period <= 0 {
 		period = DefaultMonitorPeriod
 	}
@@ -175,6 +186,12 @@ func (m *Monitor) Sample() {
 		if m.forgotten[le.id.Topology] {
 			continue
 		}
+		if !rt.local[le.dense] {
+			// Routing proxy: the executor runs (and is measured) in another
+			// worker process; reporting it here as zero-load would corrupt
+			// the shared EWMA the owner feeds.
+			continue
+		}
 		if eng.NodeDown(rt.slotOf[le.dense].Node) {
 			// Dead nodes are not reported: their executors vanish from the
 			// load picture, so the next schedule (with the node fenced off
@@ -198,9 +215,17 @@ func (m *Monitor) Sample() {
 		m.knownFlows[k] = true
 	}
 	for k := range m.knownFlows {
-		if _, active := flows[k]; !active {
-			flows[k] = 0
+		if _, active := flows[k]; active {
+			continue
 		}
+		if fe := rt.executor(k.From.Topology, k.From.Component, k.From.Index); fe != nil && !rt.local[fe.dense] {
+			// The producer migrated to another worker process: its flows are
+			// someone else's to report now. Decaying them to zero here would
+			// fight the new owner's real measurements window after window.
+			delete(m.knownFlows, k)
+			continue
+		}
+		flows[k] = 0
 	}
 	m.db.ApplyWindow(loads, flows)
 

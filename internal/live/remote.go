@@ -1,0 +1,490 @@
+package live
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"tstorm/internal/cluster"
+	"tstorm/internal/topology"
+	"tstorm/internal/tuple"
+)
+
+// This file is the live engine's process-boundary surface, used by the
+// distributed backend (internal/dist): a worker process runs a restricted
+// engine (Config.LocalSlots names the slots whose executors execute here;
+// everything else is a routing proxy) and transfers that resolve to a
+// non-local slot leave through Config.Remote as self-describing binary
+// frames instead of a channel send. The frame body reuses the tuple codec
+// (codec.go), so the serialization cost the in-process engine emulates is
+// exactly the cost the distributed engine pays for real.
+//
+// Frames may arrive from an untrusted socket, so decodeFrame validates
+// every length against the bytes that remain before allocating or slicing
+// — malformed input returns an error (the dist layer logs it and closes
+// the connection), never a panic.
+
+// RemoteSink carries frames to the worker process owning a slot. Send
+// reports false when the frame could not be handed to the peer (unknown
+// address, dead connection); the caller counts the batch as dropped and
+// anchored roots recover via timeout + replay.
+type RemoteSink interface {
+	Send(to cluster.SlotID, frame []byte) bool
+}
+
+// NotLocalError reports that an ingested frame's target executor lives in
+// another worker process — the §IV-D generation-tagged dispatch case: the
+// sender routed against a pre-reassignment placement, and the receiver
+// answers with the slot it currently believes owns the executor so the
+// dist layer can forward the frame (bounded by its hop budget).
+type NotLocalError struct {
+	Slot cluster.SlotID
+}
+
+func (e *NotLocalError) Error() string {
+	return fmt.Sprintf("live: target executor is not local (now at %s)", e.Slot)
+}
+
+// Frame kinds.
+const (
+	frameData = 1 // data tuples for a bolt's input queue
+	frameCtl  = 2 // init/ack control messages for an acker
+	frameAck  = 3 // completion events for a spout's mailbox
+)
+
+// maxFrameItems caps the per-frame item count a decoder will believe
+// before the per-item length checks kick in, bounding the initial slice
+// allocation for adversarial counts (each item costs many bytes, so real
+// frames sit far below this).
+const maxFrameItems = 1 << 20
+
+func appendFrameString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// frameReader walks an untrusted frame with bounds-checked reads.
+type frameReader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *frameReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("live: "+format, args...)
+	}
+}
+
+func (r *frameReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, w := binary.Uvarint(r.buf[r.pos:])
+	if w <= 0 {
+		r.fail("truncated uvarint at %d", r.pos)
+		return 0
+	}
+	r.pos += w
+	return v
+}
+
+func (r *frameReader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.pos >= len(r.buf) {
+		r.fail("truncated byte at %d", r.pos)
+		return 0
+	}
+	b := r.buf[r.pos]
+	r.pos++
+	return b
+}
+
+func (r *frameReader) uint64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf)-r.pos < 8 {
+		r.fail("truncated uint64 at %d", r.pos)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.pos:])
+	r.pos += 8
+	return v
+}
+
+// bytes returns a copy of a length-prefixed byte run. The length is
+// validated against the remaining input before any conversion to int, so
+// adversarial 64-bit lengths cannot wrap negative or over-allocate.
+func (r *frameReader) bytes() []byte {
+	l := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if l > uint64(len(r.buf)-r.pos) {
+		r.fail("truncated %d-byte run at %d", l, r.pos)
+		return nil
+	}
+	out := make([]byte, l)
+	copy(out, r.buf[r.pos:r.pos+int(l)])
+	r.pos += int(l)
+	return out
+}
+
+func (r *frameReader) string() string {
+	return string(r.bytes())
+}
+
+// count reads an item count and sanity-bounds it: each item occupies at
+// least minItemBytes, so a count larger than remaining/minItemBytes is
+// corrupt and rejected before anything is allocated from it.
+func (r *frameReader) count(minItemBytes int) int {
+	n := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if n > maxFrameItems || n > uint64((len(r.buf)-r.pos)/minItemBytes+1) {
+		r.fail("frame claims %d items in %d bytes", n, len(r.buf)-r.pos)
+		return 0
+	}
+	return int(n)
+}
+
+// wireFrame is one decoded inter-process frame.
+type wireFrame struct {
+	kind byte
+	to   topology.ExecutorID
+	data []liveMsg
+	ctl  []ctlMsg
+	acks []ackEvent
+}
+
+func appendFrameHeader(buf []byte, kind byte, to topology.ExecutorID) []byte {
+	buf = append(buf, kind)
+	buf = appendFrameString(buf, to.Topology)
+	buf = appendFrameString(buf, to.Component)
+	buf = binary.AppendUvarint(buf, uint64(to.Index))
+	return buf
+}
+
+// encodeDataFrame serializes a routed batch for one remote executor.
+// Messages whose payload holds by-reference extras cannot cross a process
+// boundary and are skipped; the second return value counts them so the
+// caller can account the drop. Messages still carrying in-memory values
+// (a local-hop batch stranded by a migration) are encoded here.
+func encodeDataFrame(to topology.ExecutorID, msgs []liveMsg) (frame []byte, skipped int64) {
+	buf := make([]byte, 0, 64+64*len(msgs))
+	buf = appendFrameHeader(buf, frameData, to)
+	countAt := len(buf)
+	n := 0
+	buf = append(buf, 0, 0, 0, 0) // fixed32 count patched below
+	for i := range msgs {
+		m := &msgs[i]
+		enc, extras := m.enc, m.extras
+		if enc == nil {
+			enc, extras = encodeValues(m.tup.Values)
+		}
+		if len(extras) > 0 {
+			skipped++
+			continue
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(m.tup.Root))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(m.tup.Edge))
+		buf = appendFrameString(buf, m.tup.Stream)
+		buf = appendFrameString(buf, m.tup.SrcComponent)
+		buf = binary.AppendUvarint(buf, uint64(m.tup.SrcTask))
+		buf = binary.AppendUvarint(buf, uint64(m.tup.Size))
+		var born int64
+		if !m.bornAt.IsZero() {
+			born = m.bornAt.UnixNano()
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(born))
+		buf = binary.AppendUvarint(buf, uint64(m.from))
+		buf = binary.AppendUvarint(buf, uint64(len(enc)))
+		buf = append(buf, enc...)
+		n++
+	}
+	binary.LittleEndian.PutUint32(buf[countAt:], uint32(n))
+	return buf, skipped
+}
+
+func encodeCtlFrame(to topology.ExecutorID, msgs []ctlMsg) []byte {
+	buf := make([]byte, 0, 64+32*len(msgs))
+	buf = appendFrameHeader(buf, frameCtl, to)
+	buf = binary.AppendUvarint(buf, uint64(len(msgs)))
+	for _, m := range msgs {
+		buf = append(buf, byte(m.kind))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(m.root))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(m.xor))
+		buf = binary.AppendUvarint(buf, uint64(m.spoutDense))
+		var at int64
+		if !m.emitAt.IsZero() {
+			at = m.emitAt.UnixNano()
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(at))
+	}
+	return buf
+}
+
+func encodeAckFrame(to topology.ExecutorID, evs []ackEvent) []byte {
+	buf := make([]byte, 0, 32+9*len(evs))
+	buf = appendFrameHeader(buf, frameAck, to)
+	buf = binary.AppendUvarint(buf, uint64(len(evs)))
+	for _, ev := range evs {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(ev.root))
+		late := byte(0)
+		if ev.late {
+			late = 1
+		}
+		buf = append(buf, late)
+	}
+	return buf
+}
+
+// decodeFrame parses one inter-process frame from untrusted bytes.
+func decodeFrame(buf []byte) (*wireFrame, error) {
+	r := &frameReader{buf: buf}
+	f := &wireFrame{kind: r.byte()}
+	f.to.Topology = r.string()
+	f.to.Component = r.string()
+	f.to.Index = int(r.uvarint())
+	if r.err != nil {
+		return nil, r.err
+	}
+	switch f.kind {
+	case frameData:
+		if len(r.buf)-r.pos < 4 {
+			return nil, fmt.Errorf("live: truncated data-frame count at %d", r.pos)
+		}
+		n := binary.LittleEndian.Uint32(r.buf[r.pos:])
+		r.pos += 4
+		// Every data message occupies ≥ 21 bytes (two fixed u64s, a fixed
+		// born instant minus overlap with varints); use a conservative floor.
+		if n > maxFrameItems || n > uint32((len(r.buf)-r.pos)/21+1) {
+			return nil, fmt.Errorf("live: data frame claims %d messages in %d bytes", n, len(r.buf)-r.pos)
+		}
+		f.data = make([]liveMsg, 0, n)
+		for i := uint32(0); i < n; i++ {
+			var m liveMsg
+			m.tup.Root = tuple.ID(r.uint64())
+			m.tup.Edge = tuple.ID(r.uint64())
+			m.tup.Stream = r.string()
+			m.tup.SrcComponent = r.string()
+			m.tup.SrcTask = int(r.uvarint())
+			m.tup.Size = int(r.uvarint())
+			if born := int64(r.uint64()); born != 0 {
+				m.bornAt = time.Unix(0, born)
+			}
+			m.from = int(r.uvarint())
+			m.enc = r.bytes()
+			if r.err != nil {
+				return nil, r.err
+			}
+			f.data = append(f.data, m)
+		}
+	case frameCtl:
+		n := r.count(26)
+		f.ctl = make([]ctlMsg, 0, n)
+		for i := 0; i < n; i++ {
+			var m ctlMsg
+			m.kind = ctlKind(r.byte())
+			if m.kind != ctlInit && m.kind != ctlAck {
+				return nil, fmt.Errorf("live: unknown ctl kind %d", m.kind)
+			}
+			m.root = tuple.ID(r.uint64())
+			m.xor = tuple.ID(r.uint64())
+			m.spoutDense = int(r.uvarint())
+			if at := int64(r.uint64()); at != 0 {
+				m.emitAt = time.Unix(0, at)
+			}
+			if r.err != nil {
+				return nil, r.err
+			}
+			f.ctl = append(f.ctl, m)
+		}
+	case frameAck:
+		n := r.count(9)
+		f.acks = make([]ackEvent, 0, n)
+		for i := 0; i < n; i++ {
+			var ev ackEvent
+			ev.root = tuple.ID(r.uint64())
+			ev.late = r.byte() == 1
+			if r.err != nil {
+				return nil, r.err
+			}
+			f.acks = append(f.acks, ev)
+		}
+	default:
+		return nil, fmt.Errorf("live: unknown frame kind %d", f.kind)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.pos != len(r.buf) {
+		return nil, fmt.Errorf("live: %d trailing bytes after frame", len(r.buf)-r.pos)
+	}
+	return f, nil
+}
+
+// Ingest accepts one frame received from a peer worker process and
+// dispatches it to the target executor's queue. A decode failure returns
+// the error (the caller should drop the connection); a structurally valid
+// frame whose target executor is not resident here returns a
+// *NotLocalError naming the slot this engine currently routes the
+// executor to, so the dist layer can forward it.
+func (eng *Engine) Ingest(buf []byte) error {
+	f, err := decodeFrame(buf)
+	if err != nil {
+		return err
+	}
+	rt := eng.routes.Load()
+	le := rt.executor(f.to.Topology, f.to.Component, f.to.Index)
+	if le == nil {
+		return fmt.Errorf("live: frame for unknown executor %v", f.to)
+	}
+	if !rt.local[le.dense] {
+		return &NotLocalError{Slot: rt.slotOf[le.dense]}
+	}
+	switch f.kind {
+	case frameData:
+		if le.in == nil {
+			return fmt.Errorf("live: data frame for queueless executor %v", f.to)
+		}
+		n := int64(len(f.data))
+		if n == 0 {
+			return nil
+		}
+		if le.dead.Load() {
+			eng.dropped.Add(n)
+			return nil
+		}
+		eng.pending.Add(n)
+		select {
+		case le.in <- f.data:
+		case <-eng.stopCh:
+			eng.pending.Add(-n)
+		}
+	case frameCtl:
+		if le.ctl == nil {
+			return fmt.Errorf("live: ctl frame for non-acker executor %v", f.to)
+		}
+		if len(f.ctl) == 0 {
+			return nil
+		}
+		if le.dead.Load() {
+			eng.dropped.Add(int64(len(f.ctl)))
+			return nil
+		}
+		select {
+		case le.ctl <- f.ctl:
+		case <-eng.stopCh:
+		}
+	case frameAck:
+		if le.kind != spoutExec {
+			return fmt.Errorf("live: ack frame for non-spout executor %v", f.to)
+		}
+		if len(f.acks) == 0 {
+			return nil
+		}
+		le.ackMu.Lock()
+		le.ackEvents = append(le.ackEvents, f.acks...)
+		le.ackMu.Unlock()
+	}
+	return nil
+}
+
+// remoteSend pushes an encoded frame toward the owner of a slot; a false
+// return means the dist layer could not deliver it.
+func (eng *Engine) remoteSend(to cluster.SlotID, frame []byte) bool {
+	if eng.cfg.Remote == nil {
+		return false
+	}
+	return eng.cfg.Remote.Send(to, frame)
+}
+
+// sendRemoteData ships one routed batch across the process boundary and
+// accounts it exactly as deliver does for local enqueues (the sender owns
+// all traffic counting, so per-edge statistics are consistent across the
+// fleet). Undeliverable or unencodable messages count as dropped.
+func (eng *Engine) sendRemoteData(rt *routeTable, d *delivery) bool {
+	n := int64(len(d.msgs))
+	frame, skipped := encodeDataFrame(d.to.id, d.msgs)
+	if skipped > 0 {
+		eng.dropped.Add(skipped)
+		n -= skipped
+	}
+	if n <= 0 {
+		return true
+	}
+	if !eng.remoteSend(rt.slotOf[d.to.dense], frame) {
+		eng.dropped.Add(n)
+		return true
+	}
+	eng.tuplesSent.Add(n)
+	switch d.hop {
+	case hopInterNode:
+		eng.interNodeSent.Add(n)
+	case hopInterProc:
+		eng.interProcSent.Add(n)
+	}
+	from := d.msgs[0].from
+	if m := eng.edges.Load(); m != nil {
+		m.counts[from*m.n+d.to.dense].byHop[d.hop].Add(n)
+	}
+	eng.traffic.Add(from, d.to.dense, float64(n))
+	return true
+}
+
+// forwardStranded re-ships batches that landed in a non-resident
+// executor's local queue — senders holding a pre-migration routing
+// snapshot, or frames that arrived while the handoff was in flight — to
+// the slot that owns the executor now. Runs on the remote pump goroutine.
+func (eng *Engine) forwardStranded(le *liveExec, batch []liveMsg) {
+	rt := eng.routes.Load()
+	frame, skipped := encodeDataFrame(le.id, batch)
+	if skipped > 0 {
+		eng.dropped.Add(skipped)
+	}
+	n := int64(len(batch)) - skipped
+	if n <= 0 {
+		return
+	}
+	if !rt.local[le.dense] && eng.remoteSend(rt.slotOf[le.dense], frame) {
+		return
+	}
+	eng.dropped.Add(n)
+}
+
+func (eng *Engine) forwardStrandedCtl(le *liveExec, batch []ctlMsg) {
+	rt := eng.routes.Load()
+	if !rt.local[le.dense] && eng.remoteSend(rt.slotOf[le.dense], encodeCtlFrame(le.id, batch)) {
+		return
+	}
+	eng.dropped.Add(int64(len(batch)))
+}
+
+// pumpRemote drains a non-resident executor's local queues for as long as
+// it stays remote, forwarding strays to the current owner so migration
+// conserves tuples even when an old routing snapshot (or an in-flight TCP
+// frame) deposits into the departed executor's queue. Data batches leave
+// eng.pending here; they re-enter it in the owning process.
+func (le *liveExec) pumpRemote(stop <-chan struct{}, done chan<- struct{}) {
+	eng := le.eng
+	defer eng.wg.Done()
+	defer close(done)
+	for {
+		select {
+		case <-stop:
+			return
+		case <-eng.stopCh:
+			return
+		case batch := <-le.in:
+			eng.pending.Add(-int64(len(batch)))
+			eng.forwardStranded(le, batch)
+		case batch := <-le.ctl:
+			eng.forwardStrandedCtl(le, batch)
+		}
+	}
+}

@@ -219,6 +219,11 @@ func (eng *Engine) deliver(d *delivery, die <-chan struct{}) bool {
 	if n == 0 {
 		return true
 	}
+	if rt := eng.routes.Load(); !rt.local[d.to.dense] {
+		// The target executes in another worker process: the batch leaves
+		// as an encoded frame instead of a channel send (remote.go).
+		return eng.sendRemoteData(rt, d)
+	}
 	if d.to.dead.Load() {
 		eng.dropped.Add(n)
 		return true

@@ -30,6 +30,10 @@ type routeTable struct {
 	// slotOf maps a dense index to the executor's current worker slot —
 	// the placement the router classifies every hop against.
 	slotOf []cluster.SlotID
+	// local marks executors that execute in this process; a false entry is
+	// a routing proxy whose transfers leave through the engine's Remote
+	// sink (all true in the classic in-process engine).
+	local []bool
 	// byComp maps (topology, component) to that component's executors
 	// ordered by task index, so grouping target resolution is one map
 	// lookup plus a slice index.
@@ -58,12 +62,14 @@ func (eng *Engine) rebuildRoutesLocked() {
 		byDense:  make([]*liveExec, len(eng.denseRev)),
 		denseRev: append([]topology.ExecutorID(nil), eng.denseRev...),
 		slotOf:   make([]cluster.SlotID, len(eng.denseRev)),
+		local:    make([]bool, len(eng.denseRev)),
 		byComp:   make(map[compKey][]*liveExec),
 		groups:   make(map[cluster.SlotID][]*liveExec, len(eng.groups)),
 	}
 	for id, le := range eng.execs {
 		rt.byDense[le.dense] = le
 		rt.slotOf[le.dense] = eng.placement[id]
+		rt.local[le.dense] = eng.isLocalSlot(eng.placement[id])
 		k := compKey{topo: id.Topology, comp: id.Component}
 		tasks := rt.byComp[k]
 		if tasks == nil {

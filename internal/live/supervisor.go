@@ -6,9 +6,24 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tstorm/internal/topology"
 	"tstorm/internal/trace"
 	"tstorm/internal/tuple"
 )
+
+// RestartRecord documents one supervised restart: which executor came
+// back, its 1-based attempt number, the backoff the schedule imposed
+// before this attempt, and the wait actually observed (crash → restart;
+// always ≥ Backoff, plus scan-period jitter). Tests assert the schedule
+// is genuinely exponential from these records, not merely that restarts
+// happened.
+type RestartRecord struct {
+	Executor topology.ExecutorID
+	Attempt  int
+	Backoff  time.Duration
+	Waited   time.Duration
+	At       time.Time
+}
 
 // Supervisor restart pacing: a freshly crashed executor waits BackoffBase,
 // doubling per consecutive restart up to BackoffCap — Storm's supervisor
@@ -32,6 +47,10 @@ type Supervisor struct {
 	cap    time.Duration
 
 	restarts atomic.Int64
+
+	// histMu guards history, the append-only restart log.
+	histMu  sync.Mutex
+	history []RestartRecord
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -81,6 +100,17 @@ func (s *Supervisor) Stop() {
 
 // Restarts reports how many executor restarts this supervisor performed.
 func (s *Supervisor) Restarts() int { return int(s.restarts.Load()) }
+
+// History returns a copy of the restart log in restart order.
+func (s *Supervisor) History() []RestartRecord {
+	s.histMu.Lock()
+	defer s.histMu.Unlock()
+	return append([]RestartRecord(nil), s.history...)
+}
+
+// Backoff exposes the schedule: the wait imposed before restart attempt
+// n (0-based), doubling from the base up to the cap.
+func (s *Supervisor) Backoff(n int) time.Duration { return s.backoff(n) }
 
 // backoff returns the wait before restart number n (0-based).
 func (s *Supervisor) backoff(n int) time.Duration {
@@ -142,6 +172,13 @@ func (s *Supervisor) restartExec(le *liveExec) bool {
 	// Claim the executor so a concurrent caller cannot double-restart.
 	le.state = stateDying
 	drainStop, drainDone := le.drainStop, le.drainDone
+	rec := RestartRecord{
+		Executor: le.id,
+		Attempt:  le.restarts + 1,
+		Backoff:  s.backoff(le.restarts),
+		Waited:   time.Since(le.crashedAt),
+		At:       time.Now(),
+	}
 	eng.mu.Unlock()
 
 	// Stop the drainer and wait it out: the queue must never see two
@@ -192,6 +229,9 @@ func (s *Supervisor) restartExec(le *liveExec) bool {
 	eng.mu.Unlock()
 
 	s.restarts.Add(1)
+	s.histMu.Lock()
+	s.history = append(s.history, rec)
+	s.histMu.Unlock()
 	eng.workerRestarts.Add(1)
 	eng.emit(trace.WorkerRestarted, le.id.Topology, "",
 		fmt.Sprintf("%s restarted (attempt %d)", le.id, le.restarts))

@@ -23,17 +23,43 @@ import (
 	"strconv"
 	"time"
 
+	"tstorm/internal/cluster"
 	"tstorm/internal/decision"
 	"tstorm/internal/live"
 	"tstorm/internal/loaddb"
 	"tstorm/internal/trace"
 )
 
-// Config selects what a Server exposes. Engine is required; Monitor and
-// Trace add their endpoints' data when present.
+// WorkerStatus is one worker process's liveness row, as reported by a
+// distributed driver through Config.Workers (defined here so the
+// telemetry layer needs no dependency on the dist package).
+type WorkerStatus struct {
+	Slot     cluster.SlotID `json:"slot"`
+	PID      int            `json:"pid"`
+	Alive    bool           `json:"alive"`
+	Restarts int            `json:"restarts"`
+	DataAddr string         `json:"data_addr,omitempty"`
+	Pending  int64          `json:"pending"`
+}
+
+// Config selects what a Server exposes. An engine-backed server sets
+// Engine; a distributed driver sets the Totals/Placement/Workers
+// functions instead (at least one of Engine or Totals is required).
+// Monitor and Trace add their endpoints' data when present.
 type Config struct {
-	// Engine is the live engine to instrument.
+	// Engine is the live engine to instrument. Nil for the distributed
+	// backend, whose per-executor state lives in other processes — the
+	// function fields below feed the fleet-level aggregates instead.
 	Engine *live.Engine
+	// Totals supplies the counter snapshot when Engine is nil (the
+	// distributed driver's fleet aggregation).
+	Totals func() live.Totals
+	// Placement supplies the executor→slot map when Engine is nil.
+	Placement func() []live.PlacementEntry
+	// Workers, when non-nil, adds /debug/workers and the tstorm_worker_up /
+	// tstorm_worker_process_restarts_total process-liveness families —
+	// the distributed backend's worker fleet.
+	Workers func() []WorkerStatus
 	// Monitor, when non-nil, contributes the sampling gauges
 	// (tstorm_monitor_*) to /metrics.
 	Monitor *live.Monitor
@@ -63,8 +89,8 @@ type Server struct {
 
 // NewServer builds a server over the given sources (not yet listening).
 func NewServer(cfg Config) (*Server, error) {
-	if cfg.Engine == nil {
-		return nil, fmt.Errorf("telemetry: nil engine")
+	if cfg.Engine == nil && cfg.Totals == nil {
+		return nil, fmt.Errorf("telemetry: need an engine or a totals source")
 	}
 	if cfg.TraceLimit <= 0 {
 		cfg.TraceLimit = 256
@@ -75,7 +101,28 @@ func NewServer(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/debug/trace", s.handleTrace)
 	s.mux.HandleFunc("/debug/scheduler", s.handleScheduler)
 	s.mux.HandleFunc("/debug/traffic", s.handleTraffic)
+	s.mux.HandleFunc("/debug/workers", s.handleWorkers)
 	return s, nil
+}
+
+// totals reads the counter snapshot from whichever source is configured.
+func (s *Server) totals() live.Totals {
+	if s.cfg.Engine != nil {
+		return s.cfg.Engine.Totals()
+	}
+	return s.cfg.Totals()
+}
+
+// placement reads the executor→slot map from whichever source is
+// configured (nil when neither is).
+func (s *Server) placement() []live.PlacementEntry {
+	if s.cfg.Engine != nil {
+		return s.cfg.Engine.Placement()
+	}
+	if s.cfg.Placement != nil {
+		return s.cfg.Placement()
+	}
+	return nil
 }
 
 // Handler returns the endpoint mux, for tests and embedding.
@@ -122,7 +169,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	eng := s.cfg.Engine
 	var e expo
 
-	t := eng.Totals()
+	t := s.totals()
 	engineCounters := []struct {
 		name, help string
 		v          int64
@@ -157,57 +204,87 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		e.family(c.name, c.help, "counter")
 		e.sample(c.name, nil, float64(c.v))
 	}
-	e.family("tstorm_ack_pending", "Anchored roots currently in flight (emitted, not yet acked or failed).", "gauge")
-	e.sample("tstorm_ack_pending", nil, float64(eng.PendingRoots()))
+	// Per-executor and latency families need in-process executor state;
+	// the distributed driver (eng == nil) has none — its workers own it.
+	if eng != nil {
+		e.family("tstorm_ack_pending", "Anchored roots currently in flight (emitted, not yet acked or failed).", "gauge")
+		e.sample("tstorm_ack_pending", nil, float64(eng.PendingRoots()))
 
-	e.family("tstorm_latency_ms", "End-to-end tuple latency, spout emit to terminal bolt (cumulative).", "histogram")
-	e.histogram("tstorm_latency_ms", nil, eng.LatencySnapshot())
+		e.family("tstorm_latency_ms", "End-to-end tuple latency, spout emit to terminal bolt (cumulative).", "histogram")
+		e.histogram("tstorm_latency_ms", nil, eng.LatencySnapshot())
 
-	e.family("tstorm_completion_latency_ms", "Root completion latency, first spout emit to ack, surviving replays (cumulative).", "histogram")
-	e.histogram("tstorm_completion_latency_ms", nil, eng.CompletionLatencySnapshot())
+		e.family("tstorm_completion_latency_ms", "Root completion latency, first spout emit to ack, surviving replays (cumulative).", "histogram")
+		e.histogram("tstorm_completion_latency_ms", nil, eng.CompletionLatencySnapshot())
 
-	stats := eng.ExecutorStats()
-	execLabels := func(st *live.ExecutorStat) []label {
-		return []label{
-			{"topology", st.ID.Topology},
-			{"component", st.ID.Component},
-			{"index", strconv.Itoa(st.ID.Index)},
+		stats := eng.ExecutorStats()
+		execLabels := func(st *live.ExecutorStat) []label {
+			return []label{
+				{"topology", st.ID.Topology},
+				{"component", st.ID.Component},
+				{"index", strconv.Itoa(st.ID.Index)},
+			}
+		}
+		e.family("tstorm_executor_queue_depth", "Input-queue depth in delivery batches.", "gauge")
+		for i := range stats {
+			if stats[i].Kind == "bolt" {
+				e.sample("tstorm_executor_queue_depth", execLabels(&stats[i]), float64(stats[i].QueueLen))
+			}
+		}
+		e.family("tstorm_executor_queue_capacity", "Input-queue capacity in delivery batches.", "gauge")
+		for i := range stats {
+			if stats[i].Kind == "bolt" {
+				e.sample("tstorm_executor_queue_capacity", execLabels(&stats[i]), float64(stats[i].QueueCap))
+			}
+		}
+		e.family("tstorm_executor_processed_total", "Lifetime tuples processed by the executor.", "counter")
+		for i := range stats {
+			e.sample("tstorm_executor_processed_total", execLabels(&stats[i]), float64(stats[i].Processed))
+		}
+		e.family("tstorm_executor_emitted_total", "Lifetime tuples emitted by the executor.", "counter")
+		for i := range stats {
+			e.sample("tstorm_executor_emitted_total", execLabels(&stats[i]), float64(stats[i].Emitted))
+		}
+		e.family("tstorm_executor_process_latency_ms", "Per-tuple process time (decode + Execute).", "histogram")
+		for i := range stats {
+			if stats[i].ProcLatency != nil {
+				e.histogram("tstorm_executor_process_latency_ms", execLabels(&stats[i]), stats[i].ProcLatency)
+			}
+		}
+
+		e.family("tstorm_edge_tuples_total", "Tuples transferred per executor pair, by boundary class.", "counter")
+		for _, es := range eng.EdgeStats() {
+			e.sample("tstorm_edge_tuples_total", []label{
+				{"from", es.From.String()},
+				{"to", es.To.String()},
+				{"boundary", es.Boundary},
+			}, float64(es.Tuples))
 		}
 	}
-	e.family("tstorm_executor_queue_depth", "Input-queue depth in delivery batches.", "gauge")
-	for i := range stats {
-		if stats[i].Kind == "bolt" {
-			e.sample("tstorm_executor_queue_depth", execLabels(&stats[i]), float64(stats[i].QueueLen))
-		}
-	}
-	e.family("tstorm_executor_queue_capacity", "Input-queue capacity in delivery batches.", "gauge")
-	for i := range stats {
-		if stats[i].Kind == "bolt" {
-			e.sample("tstorm_executor_queue_capacity", execLabels(&stats[i]), float64(stats[i].QueueCap))
-		}
-	}
-	e.family("tstorm_executor_processed_total", "Lifetime tuples processed by the executor.", "counter")
-	for i := range stats {
-		e.sample("tstorm_executor_processed_total", execLabels(&stats[i]), float64(stats[i].Processed))
-	}
-	e.family("tstorm_executor_emitted_total", "Lifetime tuples emitted by the executor.", "counter")
-	for i := range stats {
-		e.sample("tstorm_executor_emitted_total", execLabels(&stats[i]), float64(stats[i].Emitted))
-	}
-	e.family("tstorm_executor_process_latency_ms", "Per-tuple process time (decode + Execute).", "histogram")
-	for i := range stats {
-		if stats[i].ProcLatency != nil {
-			e.histogram("tstorm_executor_process_latency_ms", execLabels(&stats[i]), stats[i].ProcLatency)
-		}
-	}
 
-	e.family("tstorm_edge_tuples_total", "Tuples transferred per executor pair, by boundary class.", "counter")
-	for _, es := range eng.EdgeStats() {
-		e.sample("tstorm_edge_tuples_total", []label{
-			{"from", es.From.String()},
-			{"to", es.To.String()},
-			{"boundary", es.Boundary},
-		}, float64(es.Tuples))
+	if wf := s.cfg.Workers; wf != nil {
+		workers := wf()
+		alive := 0
+		slotLabels := func(ws *WorkerStatus) []label {
+			return []label{
+				{"node", string(ws.Slot.Node)},
+				{"port", strconv.Itoa(ws.Slot.Port)},
+			}
+		}
+		e.family("tstorm_worker_up", "Whether the slot's worker process is registered and live.", "gauge")
+		for i := range workers {
+			v := 0.0
+			if workers[i].Alive {
+				v = 1.0
+				alive++
+			}
+			e.sample("tstorm_worker_up", slotLabels(&workers[i]), v)
+		}
+		e.family("tstorm_worker_process_restarts_total", "Worker-process respawns performed by the supervisor.", "counter")
+		for i := range workers {
+			e.sample("tstorm_worker_process_restarts_total", slotLabels(&workers[i]), float64(workers[i].Restarts))
+		}
+		e.family("tstorm_workers_alive", "Live worker processes in the fleet.", "gauge")
+		e.sample("tstorm_workers_alive", nil, float64(alive))
 	}
 
 	if m := s.cfg.Monitor; m != nil {
@@ -237,7 +314,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		// schedule over the rate observed on the engine's counters since
 		// the last round. No sample until a baseline window has elapsed.
 		e.family("tstorm_scheduler_predicted_vs_observed_ratio", "Predicted inter-node traffic rate over the rate observed since the last scheduling round (1.0 = the cost model matched the wire).", "gauge")
-		if ratio, ok := h.Reconcile(eng.Totals().InterNodeSent, time.Now()); ok {
+		if ratio, ok := h.Reconcile(s.totals().InterNodeSent, time.Now()); ok {
 			e.sample("tstorm_scheduler_predicted_vs_observed_ratio", nil, ratio)
 		}
 	}
@@ -256,8 +333,8 @@ type placementDoc struct {
 }
 
 func (s *Server) handlePlacement(w http.ResponseWriter, r *http.Request) {
-	t := s.cfg.Engine.Totals()
-	placements := s.cfg.Engine.Placement()
+	t := s.totals()
+	placements := s.placement()
 	// The engine has no topology-removal API, so executors of a topology
 	// the monitor was told to Forget stay in the route snapshot; keep the
 	// telemetry view consistent with the rest of the stack by filtering
@@ -397,8 +474,33 @@ func (s *Server) handleScheduler(w http.ResponseWriter, r *http.Request) {
 		Relaxations: h.Relaxations(),
 		Reports:     reports,
 	}
-	if ratio, ok := h.Reconcile(s.cfg.Engine.Totals().InterNodeSent, time.Now()); ok {
+	if ratio, ok := h.Reconcile(s.totals().InterNodeSent, time.Now()); ok {
 		doc.PredictedVsObservedRatio = &ratio
+	}
+	writeJSON(w, doc)
+}
+
+// workersDoc is the /debug/workers response body.
+type workersDoc struct {
+	Alive   int            `json:"alive"`
+	Workers []WorkerStatus `json:"workers"`
+}
+
+// handleWorkers returns the distributed fleet's process-liveness table
+// (404 on engine-backed servers, which have no worker processes).
+func (s *Server) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Workers == nil {
+		http.Error(w, "no worker fleet (in-process backend)", http.StatusNotFound)
+		return
+	}
+	doc := workersDoc{Workers: s.cfg.Workers()}
+	if doc.Workers == nil {
+		doc.Workers = []WorkerStatus{}
+	}
+	for i := range doc.Workers {
+		if doc.Workers[i].Alive {
+			doc.Alive++
+		}
 	}
 	writeJSON(w, doc)
 }

@@ -1,0 +1,84 @@
+package workloads
+
+import (
+	"encoding/json"
+
+	"tstorm/internal/dist"
+	"tstorm/internal/docstore"
+)
+
+// SelfFedWorkload is the registry name of the self-fed Word Count for the
+// distributed backend: dist.Engine.Submit(workloads.SelfFedWorkload,
+// workloads.SelfFedParams{...}, assignment) ships the parameters to every
+// worker process, which rebuilds the topology through this registration.
+const SelfFedWorkload = "selffed-wordcount"
+
+// SelfFedParams is the wire form of SelfFedWordCountConfig: everything
+// JSON-able, with the sink left out — each process creates its own
+// docstore (the Mongo stand-in is per-worker state, like a Mongo
+// connection would be). Zero fields take the default sizing.
+type SelfFedParams struct {
+	Spouts    int  `json:"spouts,omitempty"`
+	Splitters int  `json:"splitters,omitempty"`
+	Counters  int  `json:"counters,omitempty"`
+	Mongos    int  `json:"mongos,omitempty"`
+	Workers   int  `json:"workers,omitempty"`
+	Reliable  bool `json:"reliable,omitempty"`
+	Ackers    int  `json:"ackers,omitempty"`
+	// MaxPending caps each reader's outstanding lines (Reliable only).
+	MaxPending int `json:"max_pending,omitempty"`
+	// Limit stops each reader after that many distinct lines (Reliable
+	// only; 0 = unbounded).
+	Limit int `json:"limit,omitempty"`
+}
+
+func (p SelfFedParams) config() SelfFedWordCountConfig {
+	cfg := DefaultSelfFedWordCountConfig()
+	if p.Spouts > 0 {
+		cfg.Spouts = p.Spouts
+	}
+	if p.Splitters > 0 {
+		cfg.Splitters = p.Splitters
+	}
+	if p.Counters > 0 {
+		cfg.Counters = p.Counters
+	}
+	if p.Mongos > 0 {
+		cfg.Mongos = p.Mongos
+	}
+	if p.Workers > 0 {
+		cfg.Workers = p.Workers
+	}
+	cfg.Reliable = p.Reliable
+	cfg.Ackers = p.Ackers
+	cfg.MaxPending = p.MaxPending
+	cfg.Limit = p.Limit
+	cfg.Sink = docstore.NewStore()
+	return cfg
+}
+
+func init() {
+	dist.RegisterWorkload(SelfFedWorkload, func(raw json.RawMessage) (dist.Built, error) {
+		var p SelfFedParams
+		if len(raw) > 0 {
+			if err := json.Unmarshal(raw, &p); err != nil {
+				return dist.Built{}, err
+			}
+		}
+		cfg := p.config()
+		if !cfg.Reliable {
+			app, err := NewSelfFedWordCount(cfg)
+			return dist.Built{App: app}, err
+		}
+		app, audit, err := NewReliableSelfFedWordCount(cfg)
+		if err != nil {
+			return dist.Built{}, err
+		}
+		return dist.Built{
+			App: app,
+			Audit: func() (acked, outstanding, restarts int) {
+				return audit.AckedLines(), audit.OutstandingLines(), audit.Restarts()
+			},
+		}, nil
+	})
+}

@@ -46,6 +46,7 @@ import (
 	"tstorm/internal/cluster"
 	"tstorm/internal/core"
 	"tstorm/internal/decision"
+	"tstorm/internal/dist"
 	"tstorm/internal/engine"
 	"tstorm/internal/live"
 	"tstorm/internal/loaddb"
@@ -148,6 +149,35 @@ type (
 	// LiveSupervisor restarts crashed live executors with backoff.
 	LiveSupervisor = live.Supervisor
 )
+
+// Distributed (multi-process) runtime: real worker OS processes on
+// loopback TCP behind the same facade, driven by the same scheduling
+// stack.
+type (
+	// DistEngine is the distributed driver: it spawns one worker process
+	// per cluster slot (re-executing the current binary), supervises them
+	// with exponential-backoff respawn, and coordinates §IV-D migration
+	// across process boundaries. It implements the same scheduling surface
+	// as LiveEngine, so Wire drives both identically.
+	DistEngine = dist.Engine
+	// DistConfig holds the distributed driver's knobs.
+	DistConfig = dist.Config
+	// DistWorkerStatus is one worker process's liveness row.
+	DistWorkerStatus = dist.WorkerStatus
+	// DistRestartRecord documents one supervised worker-process respawn.
+	DistRestartRecord = dist.RestartRecord
+)
+
+// NewDistEngine builds a distributed driver (workers spawn at Start).
+// The binary calling this MUST call RunDistWorkerIfChild first thing in
+// main(), because worker processes are the same binary re-executed.
+func NewDistEngine(cfg DistConfig) (*DistEngine, error) { return dist.NewEngine(cfg) }
+
+// RunDistWorkerIfChild turns the process into a distributed worker when
+// it was spawned by a DistEngine (and never returns in that case); a
+// no-op otherwise. Call it at the top of main() — and in TestMain of any
+// test binary that builds a DistEngine.
+func RunDistWorkerIfChild() { dist.RunWorkerIfChild() }
 
 // DefaultLiveConfig returns the live engine's default configuration.
 func DefaultLiveConfig() LiveConfig { return live.DefaultConfig() }
@@ -255,9 +285,9 @@ func DefaultSchedule(top *Topology, cl *Cluster) (*Assignment, error) {
 	})
 }
 
-// Backend is the execution-engine surface Wire schedules over. Both
-// backends satisfy it: the simulated *Runtime and the wall-clock
-// *LiveEngine.
+// Backend is the execution-engine surface Wire schedules over. All three
+// backends satisfy it: the simulated *Runtime, the wall-clock
+// *LiveEngine, and the multi-process *DistEngine.
 type Backend interface {
 	// Topologies lists the submitted topology names.
 	Topologies() []string
@@ -265,10 +295,11 @@ type Backend interface {
 	Cluster() *Cluster
 }
 
-// Compile-time proof that both engines are Backends.
+// Compile-time proof that all engines are Backends.
 var (
 	_ Backend = (*Runtime)(nil)
 	_ Backend = (*LiveEngine)(nil)
+	_ Backend = (*DistEngine)(nil)
 )
 
 // Paper defaults (Table II): consolidation factor γ, the load-monitoring
@@ -402,6 +433,13 @@ type Stack struct {
 	// with exponential backoff.
 	Supervisor *LiveSupervisor
 
+	// Distributed backend (nil otherwise). Monitoring runs inside the
+	// worker processes and flows into DB over the control plane, and
+	// process supervision is built into the engine, so the dist Stack has
+	// no Monitor or Supervisor components. LiveGenerator is shared with
+	// the live backend: the identical generator drives both.
+	Dist *DistEngine
+
 	// Decisions retains the generator's per-round DecisionReports and
 	// traffic snapshots when the stack was wired WithDecisionHistory
 	// (nil otherwise). Both backends feed it.
@@ -410,8 +448,11 @@ type Stack struct {
 	stopOnce sync.Once
 }
 
-// Live reports which backend the stack drives.
+// Live reports whether the stack drives the in-process live backend.
 func (s *Stack) Live() bool { return s.Engine != nil }
+
+// Distributed reports whether the stack drives the multi-process backend.
+func (s *Stack) Distributed() bool { return s.Dist != nil }
 
 // Wire assembles the full T-Storm stack on a backend: load monitors
 // sampling every 20 s into an α=0.5 load DB and a schedule generator
@@ -479,6 +520,27 @@ func Wire(backend Backend, opts ...Option) (*Stack, error) {
 		sup := live.StartSupervisor(be, 0)
 		return &Stack{DB: db, Engine: be, Monitor: mon, LiveGenerator: gen, Supervisor: sup, Decisions: hist}, nil
 
+	case *DistEngine:
+		if cfg.ackTimeout != 0 || cfg.maxPending >= 0 {
+			return nil, fmt.Errorf("tstorm: WithAckTimeout/WithMaxPending on the distributed backend go through DistConfig before Start")
+		}
+		// Monitoring is worker-side: each process samples its executors and
+		// ships windows over the control plane into this load DB.
+		be.SetLoadSink(db)
+		be.SetMonitorPeriod(cfg.monitorPeriod)
+		lcfg := live.DefaultGeneratorConfig()
+		lcfg.Period = cfg.generatePeriod
+		var hist *decision.History
+		if cfg.decisionHistory > 0 {
+			hist = decision.NewHistory(cfg.decisionHistory)
+			lcfg.History = hist
+		}
+		gen, err := live.StartGenerator(be, db, lcfg, core.NewTrafficAware(cfg.gamma))
+		if err != nil {
+			return nil, err
+		}
+		return &Stack{DB: db, Dist: be, LiveGenerator: gen, Decisions: hist}, nil
+
 	default:
 		return nil, fmt.Errorf("tstorm: unsupported backend %T (want *tstorm.Runtime or *tstorm.LiveEngine)", backend)
 	}
@@ -489,19 +551,45 @@ func Wire(backend Backend, opts ...Option) (*Stack, error) {
 // was built with LiveConfig.Trace), and /debug/scheduler + /debug/traffic
 // (when wired WithDecisionHistory) — on addr (e.g. ":9090", or
 // "127.0.0.1:0" for an ephemeral port; read the bound address back with
-// Addr). Close the returned server when done. Live backend only: the
-// simulated Runtime has no wall-clock to scrape against.
+// Addr). Close the returned server when done. On the distributed backend
+// the counters are fleet aggregates and /debug/workers lists the worker
+// processes. Wall-clock backends only: the simulated Runtime has no
+// wall-clock to scrape against.
 func (s *Stack) StartTelemetry(addr string) (*TelemetryServer, error) {
-	if !s.Live() {
-		return nil, fmt.Errorf("tstorm: StartTelemetry requires the live backend")
+	var cfg telemetry.Config
+	switch {
+	case s.Live():
+		cfg = telemetry.Config{
+			Engine:  s.Engine,
+			Monitor: s.Monitor,
+			Trace:   s.Engine.Trace(),
+			History: s.Decisions,
+			DB:      s.DB,
+		}
+	case s.Distributed():
+		be := s.Dist
+		cfg = telemetry.Config{
+			Totals:    be.Totals,
+			Placement: be.Placement,
+			Workers: func() []telemetry.WorkerStatus {
+				ws := be.Workers()
+				out := make([]telemetry.WorkerStatus, len(ws))
+				for i, w := range ws {
+					out[i] = telemetry.WorkerStatus{
+						Slot: w.Slot, PID: w.PID, Alive: w.Alive,
+						Restarts: w.Restarts, DataAddr: w.DataAddr, Pending: w.Pending,
+					}
+				}
+				return out
+			},
+			Trace:   be.Trace(),
+			History: s.Decisions,
+			DB:      s.DB,
+		}
+	default:
+		return nil, fmt.Errorf("tstorm: StartTelemetry requires the live or distributed backend")
 	}
-	srv, err := telemetry.NewServer(telemetry.Config{
-		Engine:  s.Engine,
-		Monitor: s.Monitor,
-		Trace:   s.Engine.Trace(),
-		History: s.Decisions,
-		DB:      s.DB,
-	})
+	srv, err := telemetry.NewServer(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -514,13 +602,19 @@ func (s *Stack) StartTelemetry(addr string) (*TelemetryServer, error) {
 // Forget drops a dead topology's measurements from the stack: the monitor
 // prunes its flow memory and stops reporting the topology's executors,
 // and the load database deletes its records — so later sampling rounds
-// cannot resurrect the keys. Works on both backends.
+// cannot resurrect the keys. Works on all backends; on the distributed
+// backend the worker-side monitors prune themselves when the engine in
+// their process drops the topology, so only the driver's database needs
+// clearing here.
 func (s *Stack) Forget(topo string) {
-	if s.Live() {
+	switch {
+	case s.Live():
 		s.Monitor.Forget(topo)
-		return
+	case s.Distributed():
+		s.DB.Forget(topo)
+	default:
+		s.Monitors.Forget(topo)
 	}
-	s.Monitors.Forget(topo)
 }
 
 // Stop halts the stack's periodic work — monitors, generator, and the
