@@ -221,8 +221,12 @@ func distOnce(sched string, measure time.Duration, seed uint64) (distRun, error)
 // was lost across the process death.
 func runDistRecovery(seed uint64) (recoveryRun, error) {
 	const (
-		ackTimeout     = 2 * time.Second
-		linesPerReader = 40000
+		ackTimeout = 2 * time.Second
+		// The corpus must outlast warmup + baseline + crash + recovery:
+		// the pooled ack path pushed the reliable pipeline well past
+		// 400k tuples/s, so the phase needs a deeper corpus than it did
+		// when 40 000 lines took several seconds to drain.
+		linesPerReader = 150000
 		window         = 250 * time.Millisecond
 	)
 	p := distParams()

@@ -709,6 +709,9 @@ func addTotals(a, b live.Totals) live.Totals {
 		Dropped:          a.Dropped + b.Dropped,
 		WorkerCrashes:    a.WorkerCrashes + b.WorkerCrashes,
 		WorkerRestarts:   a.WorkerRestarts + b.WorkerRestarts,
+		CtlCombined:      a.CtlCombined + b.CtlCombined,
+		PoolHits:         a.PoolHits + b.PoolHits,
+		PoolMisses:       a.PoolMisses + b.PoolMisses,
 	}
 }
 

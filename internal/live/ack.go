@@ -22,6 +22,12 @@ import (
 // spout's own goroutine — so the cycle "spout blocked on a full bolt
 // queue → bolt blocked sending an ack → acker blocked notifying the
 // spout" cannot close into a deadlock.
+//
+// Sharding: roots hash across the topology's acker tasks (power-of-two
+// counts use a mask), and senders pre-combine — successive XOR acks to
+// the same root fold into one ctl message inside the sender's ctlSink
+// before they ever hit a channel, which is sound because XOR folding is
+// exactly what the acker would do with them anyway.
 
 type ctlKind uint8
 
@@ -40,12 +46,16 @@ type ctlMsg struct {
 	emitAt     time.Time // init only: the root's (first-)emit instant
 }
 
-// ackEvent is a completion notification travelling acker → spout. Failures
-// carry no event: the spout's own timeout wheel is the failure authority,
-// so acker crashes cannot lose timeouts.
+// ackEvent is a completion notification travelling acker → spout. at is
+// the instant the acker observed the tree complete, carried with the
+// event so the spout's completion-latency metric measures the protocol,
+// not the spout's drain cadence. Failures carry no event: the spout's own
+// timeout wheel is the failure authority, so acker crashes cannot lose
+// timeouts.
 type ackEvent struct {
 	root tuple.ID
 	late bool
+	at   time.Time
 }
 
 // livePendingRoot is a spout's record of one outstanding anchored root.
@@ -70,23 +80,134 @@ type liveRootEmit struct {
 // late-completion measurement before being swept.
 const liveZombieRetention = 5 * time.Minute
 
-// ackerFor returns the acker executor responsible for a root (nil when the
-// topology has none).
-func (le *liveExec) ackerFor(rt *routeTable, root tuple.ID) *liveExec {
-	tasks := rt.byComp[compKey{topo: le.id.Topology, comp: topology.AckerComponent}]
-	if len(tasks) == 0 {
-		return nil
+// ackerIndex maps a root to its acker shard. The executor set is fixed
+// after Submit, so le.ackers (cached at Start) is the authoritative task
+// list; power-of-two shard counts — the common configuration — use a mask
+// instead of the modulo.
+func (le *liveExec) ackerIndex(root tuple.ID) int {
+	n := len(le.ackers)
+	if n&(n-1) == 0 {
+		return int(uint64(root) & uint64(n-1))
 	}
-	return tasks[int(uint64(root)%uint64(len(tasks)))]
+	return int(uint64(root) % uint64(n))
+}
+
+// ctlSink accumulates one executor's outgoing control messages between
+// flushes, dense by acker shard index. rootPos remembers where each
+// root's ack landed so later acks to the same root XOR-fold in place
+// (sender-side combining); touched lists the shards with pending batches
+// in first-touch order. Replaces the old per-message linear scan over
+// accumulators, which taxed every ack O(distinct ackers).
+type ctlSink struct {
+	msgs    [][]ctlMsg       // per shard; nil = no pending batch
+	touched []int            // shard indexes with pending batches
+	rootPos map[tuple.ID]int // root → position in its shard's batch (acks only)
+}
+
+// ensure sizes the dense shard bank (idempotent; shard count is fixed).
+func (s *ctlSink) ensure(n int) {
+	if len(s.msgs) < n {
+		s.msgs = make([][]ctlMsg, n)
+	}
+	if s.rootPos == nil {
+		s.rootPos = make(map[tuple.ID]int)
+	}
+}
+
+// addAck buffers one XOR ack, folding it into an already-buffered ack for
+// the same root when possible. Callers guarantee len(le.ackers) > 0.
+func (le *liveExec) addAck(root, xor tuple.ID) {
+	s := &le.ctlSink
+	s.ensure(len(le.ackers))
+	if pos, ok := s.rootPos[root]; ok {
+		ai := le.ackerIndex(root)
+		s.msgs[ai][pos].xor ^= xor
+		le.eng.ctlCombined.Add(1)
+		return
+	}
+	ai := le.ackerIndex(root)
+	if s.msgs[ai] == nil {
+		s.msgs[ai] = le.eng.ctlPool.get()
+		s.touched = append(s.touched, ai)
+	}
+	s.rootPos[root] = len(s.msgs[ai])
+	s.msgs[ai] = append(s.msgs[ai], ctlMsg{kind: ctlAck, root: root, xor: xor})
+}
+
+// addInit buffers one root registration. Inits are never folded (each
+// root registers exactly once per emission) and never share roots with
+// buffered acks on the spout, so rootPos is left alone.
+func (le *liveExec) addInit(root, xor tuple.ID, spoutDense int, emitAt time.Time) {
+	s := &le.ctlSink
+	s.ensure(len(le.ackers))
+	ai := le.ackerIndex(root)
+	if s.msgs[ai] == nil {
+		s.msgs[ai] = le.eng.ctlPool.get()
+		s.touched = append(s.touched, ai)
+	}
+	s.msgs[ai] = append(s.msgs[ai], ctlMsg{
+		kind: ctlInit, root: root, xor: xor, spoutDense: spoutDense, emitAt: emitAt,
+	})
+}
+
+// flushCtl ships every buffered control batch to its acker shard. Each
+// entry is detached from the sink before sendCtl takes ownership, so an
+// abort mid-flush can never double-release a batch; remaining batches
+// after an abort are recycled unsent (their roots replay via the wheel).
+func (le *liveExec) flushCtl(die <-chan struct{}) bool {
+	s := &le.ctlSink
+	if len(s.touched) == 0 {
+		return true
+	}
+	ok := true
+	for _, ai := range s.touched {
+		msgs := s.msgs[ai]
+		s.msgs[ai] = nil
+		if msgs == nil {
+			continue
+		}
+		if !ok {
+			le.eng.ctlPool.put(msgs)
+			continue
+		}
+		if !le.eng.sendCtl(le, le.ackers[ai], msgs, die) {
+			ok = false
+		}
+	}
+	s.touched = s.touched[:0]
+	if len(s.rootPos) > 0 {
+		clear(s.rootPos)
+	}
+	return ok
+}
+
+// dropCtl discards every buffered control batch without sending — the
+// dying-bolt path: acking inputs whose downstream emissions were dropped
+// would falsely complete their roots.
+func (le *liveExec) dropCtl() {
+	s := &le.ctlSink
+	for _, ai := range s.touched {
+		if m := s.msgs[ai]; m != nil {
+			le.eng.ctlPool.put(m)
+			s.msgs[ai] = nil
+		}
+	}
+	s.touched = s.touched[:0]
+	if len(s.rootPos) > 0 {
+		clear(s.rootPos)
+	}
 }
 
 // sendCtl enqueues a control batch at an acker, blocking on a full queue
 // with stop/die escapes. Control messages are counted as real traffic —
 // acker placement generates network load exactly as in Storm — but, being
 // tiny, pay no serialization or wire cost. Batches to dead ackers are
-// dropped; the spout wheel recovers the affected roots.
+// dropped; the spout wheel recovers the affected roots. sendCtl owns msgs
+// on every outcome: a successful channel send hands it to the acker,
+// every other path (remote encode, drop, abort) recycles it.
 func (eng *Engine) sendCtl(from *liveExec, to *liveExec, msgs []ctlMsg, die <-chan struct{}) bool {
 	if to == nil || len(msgs) == 0 {
+		eng.ctlPool.put(msgs)
 		return true
 	}
 	n := int64(len(msgs))
@@ -94,21 +215,27 @@ func (eng *Engine) sendCtl(from *liveExec, to *liveExec, msgs []ctlMsg, die <-ch
 	if !rt.local[to.dense] {
 		// Acker in another worker process: ship the batch as a ctl frame
 		// (counted as traffic below, like the channel path — the sender
-		// owns all counting).
-		if !eng.remoteSend(rt.slotOf[to.dense], encodeCtlFrame(to.id, msgs)) {
+		// owns all counting). The encode copies the batch out, so it is
+		// recycled here either way.
+		sent := eng.remoteSend(rt.slotOf[to.dense], encodeCtlFrame(to.id, msgs))
+		eng.ctlPool.put(msgs)
+		if !sent {
 			eng.dropped.Add(n)
 			return true
 		}
 	} else {
 		if to.dead.Load() {
 			eng.dropped.Add(n)
+			eng.ctlPool.put(msgs)
 			return true
 		}
 		select {
 		case to.ctl <- msgs:
 		case <-eng.stopCh:
+			eng.ctlPool.put(msgs)
 			return false
 		case <-die:
+			eng.ctlPool.put(msgs)
 			return false
 		}
 	}
@@ -131,32 +258,23 @@ func (eng *Engine) sendCtl(from *liveExec, to *liveExec, msgs []ctlMsg, die <-ch
 	return true
 }
 
-// ctlAcc accumulates one executor's control messages per acker target
-// within one batch/cycle, so a batch costs one channel send per acker.
-type ctlAcc struct {
-	to   *liveExec
-	msgs []ctlMsg
-}
-
-func appendCtl(accs *[]ctlAcc, to *liveExec, m ctlMsg) {
-	for i := range *accs {
-		if (*accs)[i].to == to {
-			(*accs)[i].msgs = append((*accs)[i].msgs, m)
-			return
-		}
-	}
-	*accs = append(*accs, ctlAcc{to: to, msgs: []ctlMsg{m}})
-}
-
 // ---- acker executor ----
+
+// ackAcc batches one drain's completion events for one destination spout,
+// so a drain costs one mailbox append (or one ack frame) per spout
+// instead of one per completion.
+type ackAcc struct {
+	sp  *liveExec
+	evs []ackEvent
+}
 
 // runAcker drives one acker executor incarnation: fold init/ack batches
 // into a fresh Tracker (tracker state dies with the incarnation, as a
-// Storm acker's does) and notify spouts of completions. A slow hygiene
-// tick expires roots whose acks stopped arriving — e.g. dropped on a
-// crashed worker — and sweeps zombies, bounding the tracker's memory; the
-// expiries themselves are discarded because the spout wheel is the
-// failure authority.
+// Storm acker's does) and notify spouts of completions, batched per spout
+// per drain. A slow hygiene tick expires roots whose acks stopped
+// arriving — e.g. dropped on a crashed worker — and sweeps zombies,
+// bounding the tracker's memory; the expiries themselves are discarded
+// because the spout wheel is the failure authority.
 func (le *liveExec) runAcker(die <-chan struct{}) {
 	eng := le.eng
 	tracker := acker.NewTracker()
@@ -176,6 +294,7 @@ func (le *liveExec) runAcker(die <-chan struct{}) {
 		case batch := <-le.ctl:
 			t0 := time.Now()
 			now := eng.simNow(t0)
+			rt := eng.routes.Load()
 			for _, m := range batch {
 				var (
 					c    acker.Completion
@@ -188,10 +307,12 @@ func (le *liveExec) runAcker(die <-chan struct{}) {
 					c, done = tracker.Ack(m.root, m.xor, now)
 				}
 				if done {
-					le.notifyComplete(c)
+					le.stashCompletion(rt, c, t0)
 				}
 			}
+			le.flushCompletions(rt)
 			le.processed.Add(int64(len(batch)))
+			eng.ctlPool.put(batch)
 			le.cpuNanos.Add(int64(time.Since(t0)))
 		case <-tk.C:
 			t0 := time.Now()
@@ -203,12 +324,10 @@ func (le *liveExec) runAcker(die <-chan struct{}) {
 	}
 }
 
-// notifyComplete hands a finished root to its spout's event slice. The
-// append never blocks, so the acker always drains regardless of what the
-// spout is doing; a completion for a crashed spout's dense index lands in
-// the slice and is discarded by the next incarnation's drain.
-func (le *liveExec) notifyComplete(c acker.Completion) {
-	rt := le.eng.routes.Load()
+// stashCompletion records a finished root in the drain's per-spout
+// accumulator, stamped with the completion instant. A completion for a
+// stale dense index is discarded.
+func (le *liveExec) stashCompletion(rt *routeTable, c acker.Completion, at time.Time) {
 	if c.SpoutExec < 0 || c.SpoutExec >= len(rt.byDense) {
 		return
 	}
@@ -216,16 +335,45 @@ func (le *liveExec) notifyComplete(c acker.Completion) {
 	if sp.kind != spoutExec {
 		return
 	}
-	if !rt.local[sp.dense] {
-		// Spout in another worker process: ship the completion as an ack
-		// frame; an undeliverable event recovers via the spout's wheel.
-		le.eng.remoteSend(rt.slotOf[sp.dense],
-			encodeAckFrame(sp.id, []ackEvent{{root: c.Root, late: c.Late}}))
+	ev := ackEvent{root: c.Root, late: c.Late, at: at}
+	for i := range le.ackAccs {
+		if le.ackAccs[i].sp == sp {
+			le.ackAccs[i].evs = append(le.ackAccs[i].evs, ev)
+			return
+		}
+	}
+	le.ackAccs = append(le.ackAccs, ackAcc{sp: sp, evs: append(le.eng.ackPool.get(), ev)})
+}
+
+// flushCompletions hands the drain's accumulated completions to their
+// spouts: one mailbox append per local spout, one ack frame per remote
+// one (this used to be one TCP frame per completion). The appends never
+// block, so the acker always drains regardless of what spouts are doing;
+// events for a crashed spout land in its mailbox and are discarded by the
+// next incarnation's drain.
+func (le *liveExec) flushCompletions(rt *routeTable) {
+	if len(le.ackAccs) == 0 {
 		return
 	}
-	sp.ackMu.Lock()
-	sp.ackEvents = append(sp.ackEvents, ackEvent{root: c.Root, late: c.Late})
-	sp.ackMu.Unlock()
+	eng := le.eng
+	for i := range le.ackAccs {
+		sp, evs := le.ackAccs[i].sp, le.ackAccs[i].evs
+		le.ackAccs[i] = ackAcc{}
+		if !rt.local[sp.dense] {
+			// Spout in another worker process: an undeliverable frame
+			// recovers via the spout's wheel.
+			eng.remoteSend(rt.slotOf[sp.dense], encodeAckFrame(sp.id, evs))
+		} else {
+			sp.ackMu.Lock()
+			if sp.ackEvents == nil {
+				sp.ackEvents = eng.ackPool.get()
+			}
+			sp.ackEvents = append(sp.ackEvents, evs...)
+			sp.ackMu.Unlock()
+		}
+		eng.ackPool.put(evs)
+	}
+	le.ackAccs = le.ackAccs[:0]
 }
 
 // ---- spout side ----
@@ -246,7 +394,8 @@ func (le *liveExec) effMaxPending() int {
 
 // drainAckEvents applies queued completion notifications: cancel the
 // wheel, retire the pending entry, record completion latency from the
-// first emit, and call the user spout's Ack. Runs on the spout goroutine.
+// first emit to the instant the acker observed the tree complete, and
+// call the user spout's Ack. Runs on the spout goroutine.
 func (le *liveExec) drainAckEvents() {
 	le.ackMu.Lock()
 	events := le.ackEvents
@@ -272,12 +421,19 @@ func (le *liveExec) drainAckEvents() {
 		if p.failed || ev.late {
 			eng.lateAcked.Add(1)
 		}
-		eng.rootLat.Add(t0.Sub(p.emitAt).Seconds() * 1e3)
+		// The completion instant travels with the event; the drain instant
+		// would fold the spout's drain cadence into the protocol's latency.
+		at := ev.at
+		if at.IsZero() {
+			at = t0
+		}
+		eng.rootLat.Add(at.Sub(p.emitAt).Seconds() * 1e3)
 		if comparableMsgID(p.msgID) {
 			delete(le.firstEmit, p.msgID)
 		}
 		le.spout.Ack(p.msgID)
 	}
+	eng.ackPool.put(events)
 	le.cpuNanos.Add(int64(time.Since(t0)))
 }
 
@@ -315,7 +471,7 @@ func (le *liveExec) sweepSpoutZombies(now time.Time) {
 	}
 }
 
-// flushAnchored registers the cycle's anchored roots and sends their init
+// flushAnchored registers the flush's anchored roots and sends their init
 // messages, after the data deliveries were enqueued. Re-emits of an
 // already-pending msgID are replays: they inherit the first-emit time and
 // are counted (and traced) as such.
@@ -324,10 +480,8 @@ func (le *liveExec) flushAnchored(em *spoutEmitter, die <-chan struct{}) bool {
 		return true
 	}
 	eng := le.eng
-	rt := eng.routes.Load()
 	now := time.Now()
 	timeout := eng.AckTimeout()
-	var accs []ctlAcc
 	for _, re := range em.rootEmits {
 		emitAt := now
 		if comparableMsgID(re.msgID) {
@@ -347,15 +501,20 @@ func (le *liveExec) flushAnchored(em *spoutEmitter, die <-chan struct{}) bool {
 		le.outstanding++
 		eng.pendingRoots.Add(1)
 		le.wheel.add(re.root, timeout, now)
-		appendCtl(&accs, le.ackerFor(rt, re.root), ctlMsg{
-			kind: ctlInit, root: re.root, xor: re.initXor,
-			spoutDense: le.dense, emitAt: emitAt,
-		})
-	}
-	for i := range accs {
-		if !eng.sendCtl(le, accs[i].to, accs[i].msgs, die) {
-			return false
+		if len(le.ackers) > 0 {
+			le.addInit(re.root, re.initXor, le.dense, emitAt)
 		}
 	}
-	return true
+	return le.flushCtl(die)
+}
+
+// ackerFor returns the acker executor responsible for a root (nil when
+// the topology has none). Retained for tests and tooling; the hot path
+// uses the cached le.ackers + ackerIndex instead.
+func (le *liveExec) ackerFor(rt *routeTable, root tuple.ID) *liveExec {
+	tasks := rt.byComp[compKey{topo: le.id.Topology, comp: topology.AckerComponent}]
+	if len(tasks) == 0 {
+		return nil
+	}
+	return tasks[int(uint64(root)%uint64(len(tasks)))]
 }

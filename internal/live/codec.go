@@ -41,7 +41,13 @@ const (
 // encodeValues serializes a payload. Unsupported values land in extras in
 // order of appearance.
 func encodeValues(vals tuple.Values) ([]byte, []any) {
-	buf := make([]byte, 0, 16+8*len(vals))
+	return encodeValuesInto(make([]byte, 0, 16+8*len(vals)), vals)
+}
+
+// encodeValuesInto serializes a payload appending to buf — the hot remote
+// emission path hands in a pooled buffer so steady-state encoding
+// allocates nothing.
+func encodeValuesInto(buf []byte, vals tuple.Values) ([]byte, []any) {
 	buf = binary.AppendUvarint(buf, uint64(len(vals)))
 	var extras []any
 	for _, v := range vals {

@@ -78,9 +78,33 @@ type liveExec struct {
 	terminal bool
 	anchored bool // spout of an acker-enabled topology
 
-	// shuffleCtr and scratch are touched only by the owning goroutine.
-	shuffleCtr map[string]int
-	scratch    byte
+	// Routing state touched only by the owning goroutine: the precomputed
+	// output-stream edges (with their per-edge round-robin counters) and
+	// the scratch buffers chooseTargets reuses across emissions.
+	outStreams    map[string]*outStream
+	targetScratch []int
+	localScratch  []int
+	keyScratch    []byte
+	scratch       byte
+
+	// ackers is the topology's acker task list, cached once at Start (the
+	// executor set never changes after Submit, so the pointers are stable
+	// for the engine's lifetime). ctlSink accumulates outgoing control
+	// messages between flushes; both are owned by the executor goroutine.
+	ackers  []*liveExec
+	ctlSink ctlSink
+	// ackAccs batches an acker's completion notifications per destination
+	// spout within one drain (owned by the acker goroutine).
+	ackAccs []ackAcc
+
+	// batchTarget is the spout's adaptive cross-cycle accumulation target
+	// (1..spoutBatchMax), owned by the spout goroutine.
+	batchTarget int
+
+	// Persistent emitters, reset at the start of each incarnation so their
+	// slices are reused across cycles instead of reallocated.
+	sem spoutEmitter
+	bem boltEmitter
 
 	// Spout-side reliability state, owned by the spout goroutine of the
 	// current incarnation (the supervisor resets it between incarnations,
@@ -145,12 +169,29 @@ func (le *liveExec) run(die <-chan struct{}, gone chan<- struct{}) {
 // re-checks its gate.
 const haltPollInterval = 500 * time.Microsecond
 
+// spoutBatchMax bounds how many downstream transfers a spout accumulates
+// across cycles before flushing. The adaptive target ramps toward it
+// while consecutive cycles keep producing and collapses to 1 on the first
+// idle cycle, so saturated spouts amortize channel sends across many
+// cycles while trickle sources stay prompt.
+const spoutBatchMax = 64
+
+// boltBatchMax bounds a bolt's buffered transfers within one input batch;
+// a high-fan-out Execute flushes mid-batch past it.
+const boltBatchMax = 256
+
 // runSpout drives emit cycles. As in Storm's spout executor, NextTuple is
 // called in a tight loop and the configured interval is slept only after
 // an empty cycle (idle backoff); when the topology is saturated the
 // bounded downstream queues provide the rate control. Anchored spouts
 // additionally drain completion events, advance their timeout wheel, and
 // gate on MaxPending before each cycle.
+//
+// Emissions accumulate across cycles (cross-cycle batching): a producing
+// cycle doubles the accumulation target up to spoutBatchMax, an idle one
+// resets it, and buffered work always flushes before the spout parks on a
+// halt or MaxPending gate so Quiesce and migration drains never wait on
+// tuples sitting in an emitter.
 func (le *liveExec) runSpout(die <-chan struct{}) {
 	eng := le.eng
 	idleSleep := le.interval
@@ -159,6 +200,10 @@ func (le *liveExec) runSpout(die <-chan struct{}) {
 		le.wheel = newTimeoutWheel(eng.AckTimeout(), now)
 		le.nextSweep = now.Add(liveZombieRetention)
 	}
+	em := &le.sem
+	*em = spoutEmitter{le: le} // drop any state a crashed incarnation left
+	le.dropCtl()
+	le.batchTarget = 1
 	for {
 		select {
 		case <-eng.stopCh:
@@ -177,13 +222,21 @@ func (le *liveExec) runSpout(die <-chan struct{}) {
 			}
 		}
 		if eng.spoutsHalted.Load() {
+			if !le.flushSpout(em, die) {
+				return
+			}
 			if !le.sleep(haltPollInterval, die) {
 				return
 			}
 			continue
 		}
 		if le.anchored {
-			if mp := le.effMaxPending(); mp > 0 && le.outstanding >= mp {
+			// Buffered anchored roots count against the cap: they become
+			// outstanding at the flush this gate forces.
+			if mp := le.effMaxPending(); mp > 0 && le.outstanding+len(em.rootEmits) >= mp {
+				if !le.flushSpout(em, die) {
+					return
+				}
 				if !le.sleep(haltPollInterval, die) {
 					return
 				}
@@ -191,48 +244,70 @@ func (le *liveExec) runSpout(die <-chan struct{}) {
 			}
 		}
 		t0 := time.Now()
-		em := spoutEmitter{le: le}
-		le.spout.NextTuple(&em)
+		rootsBefore := em.roots
+		le.spout.NextTuple(em)
 		le.cpuNanos.Add(int64(time.Since(t0)))
-		if em.roots > 0 {
-			le.emitted.Add(int64(em.roots))
-			eng.rootsEmitted.Add(int64(em.roots))
-		}
-		delivered := true
-		for i := range em.deliveries {
-			if !eng.deliver(&em.deliveries[i], die) {
-				delivered = false
-				break
+		cycleRoots := em.roots - rootsBefore
+		if cycleRoots > 0 {
+			le.emitted.Add(int64(cycleRoots))
+			eng.rootsEmitted.Add(int64(cycleRoots))
+			if le.batchTarget < spoutBatchMax {
+				le.batchTarget *= 2
 			}
+		} else {
+			le.batchTarget = 1
 		}
-		if !delivered {
-			return // engine stopping or incarnation killed
-		}
-		if le.anchored {
-			if !le.flushAnchored(&em, die) {
+		if em.buffered >= le.batchTarget || cycleRoots == 0 || len(em.acks) > 0 {
+			if !le.flushSpout(em, die) {
 				return
 			}
 		}
-		// Acknowledge immediately: for unanchored topologies this is every
-		// reliable emission (no ack protocol runs); for anchored ones only
-		// roots that reached no consumer (complete by definition).
-		if len(em.acks) > 0 {
-			t1 := time.Now()
-			for _, id := range em.acks {
-				if le.anchored {
-					eng.acked.Add(1)
-					eng.rootLat.Add(0)
-				}
-				le.spout.Ack(id)
-			}
-			le.cpuNanos.Add(int64(time.Since(t1)))
-		}
-		if em.roots == 0 {
+		if cycleRoots == 0 {
 			if !le.sleep(idleSleep, die) {
 				return
 			}
 		}
 	}
+}
+
+// flushSpout pushes everything the emitter accumulated — data deliveries,
+// anchored root registrations with their init messages, and deferred
+// immediate acks — downstream, in that order (inits only after the data
+// is enqueued, so an acker can never complete a root whose tuples were
+// not yet sent). It reports false when the engine is stopping or the
+// incarnation was killed.
+func (le *liveExec) flushSpout(em *spoutEmitter, die <-chan struct{}) bool {
+	eng := le.eng
+	for i := range em.deliveries {
+		if !eng.deliver(&em.deliveries[i], die) {
+			return false
+		}
+	}
+	em.deliveries = em.deliveries[:0]
+	em.buffered = 0
+	if le.anchored {
+		if !le.flushAnchored(em, die) {
+			return false
+		}
+	}
+	em.rootEmits = em.rootEmits[:0]
+	// Acknowledge immediately: for unanchored topologies this is every
+	// reliable emission (no ack protocol runs); for anchored ones only
+	// roots that reached no consumer (complete by definition).
+	if len(em.acks) > 0 {
+		t1 := time.Now()
+		for _, id := range em.acks {
+			if le.anchored {
+				eng.acked.Add(1)
+				eng.rootLat.Add(0)
+			}
+			le.spout.Ack(id)
+		}
+		le.cpuNanos.Add(int64(time.Since(t1)))
+		em.acks = em.acks[:0]
+	}
+	em.roots = 0
+	return true
 }
 
 // sleep waits d or until the engine stops or the incarnation is killed;
@@ -250,6 +325,9 @@ func (le *liveExec) sleep(d time.Duration, die <-chan struct{}) bool {
 
 func (le *liveExec) runBolt(die <-chan struct{}) {
 	eng := le.eng
+	em := &le.bem
+	*em = boltEmitter{le: le} // drop any state a crashed incarnation left
+	le.dropCtl()
 	for {
 		select {
 		case <-eng.stopCh:
@@ -258,25 +336,31 @@ func (le *liveExec) runBolt(die <-chan struct{}) {
 			le.dropRemaining(nil, 0)
 			return
 		case batch := <-le.in:
-			var acks []ctlAcc
 			for i := range batch {
 				select {
 				case <-die:
-					// Crashed mid-batch: the unprocessed tail is dropped
-					// (its roots replay); processed heads were acked.
+					// Crashed mid-batch: the unprocessed tail AND everything
+					// buffered since the last flush — downstream emissions
+					// and their XOR acks alike — are dropped, so no root can
+					// complete while its subtree was never delivered; the
+					// spout wheel replays all of it.
+					le.abortBolt(em)
 					le.dropRemaining(batch, i)
-					le.flushAcks(acks, die)
 					return
 				default:
 				}
-				if !le.process(batch[i], &acks, die) {
-					le.dropRemaining(batch, i+1)
-					return
+				le.process(batch[i], em)
+				if em.buffered >= boltBatchMax {
+					if !le.flushBolt(em, die) {
+						le.dropRemaining(batch, i+1)
+						return
+					}
 				}
 			}
-			if !le.flushAcks(acks, die) {
+			if !le.flushBolt(em, die) {
 				return
 			}
+			eng.msgPool.put(batch)
 		}
 	}
 }
@@ -289,37 +373,78 @@ func (le *liveExec) dropRemaining(batch []liveMsg, from int) {
 	}
 }
 
-// flushAcks sends the batch's accumulated XOR acks to their ackers.
-func (le *liveExec) flushAcks(acks []ctlAcc, die <-chan struct{}) bool {
-	for i := range acks {
-		if !le.eng.sendCtl(le, acks[i].to, acks[i].msgs, die) {
-			return false
+// flushBolt delivers the emitter's buffered downstream batches, then the
+// accumulated XOR acks, then releases the pending credits of the inputs
+// processed since the last flush — in that order, so Quiesce cannot
+// observe an empty system with work still materializing and an acker can
+// never complete a root whose emissions were not yet enqueued. On abort
+// (stop/die) the undelivered batches are recycled and the pending acks
+// dropped: acking an input whose emissions never shipped would falsely
+// complete its root.
+func (le *liveExec) flushBolt(em *boltEmitter, die <-chan struct{}) bool {
+	eng := le.eng
+	ok := true
+	for i := range em.deliveries {
+		if ok {
+			ok = eng.deliver(&em.deliveries[i], die)
+		} else {
+			eng.dropped.Add(int64(len(em.deliveries[i].msgs)))
+			eng.recycleBatch(em.deliveries[i].msgs)
 		}
 	}
-	return true
+	em.deliveries = em.deliveries[:0]
+	em.buffered = 0
+	if ok {
+		ok = le.flushCtl(die)
+	} else {
+		le.dropCtl()
+	}
+	eng.pending.Add(-int64(em.done))
+	em.done = 0
+	return ok
 }
 
-// process runs the bolt on one input tuple and forwards its emissions.
-// Anchored inputs contribute one XOR ack (input edge ^ new edges) to the
-// cycle's per-acker accumulators. The matching eng.pending decrement
-// happens only after every downstream emission is enqueued, so Quiesce
-// cannot observe a momentarily-empty system with work still materializing.
-func (le *liveExec) process(m liveMsg, acks *[]ctlAcc, die <-chan struct{}) bool {
+// abortBolt discards everything a dying bolt buffered since its last
+// flush: un-enqueued downstream batches, their XOR acks, and the pending
+// credits of the already-processed inputs (their roots replay via the
+// spout wheel).
+func (le *liveExec) abortBolt(em *boltEmitter) {
+	eng := le.eng
+	for i := range em.deliveries {
+		eng.dropped.Add(int64(len(em.deliveries[i].msgs)))
+		eng.recycleBatch(em.deliveries[i].msgs)
+	}
+	em.deliveries = em.deliveries[:0]
+	em.buffered = 0
+	le.dropCtl()
+	eng.pending.Add(-int64(em.done))
+	em.done = 0
+}
+
+// process runs the bolt on one input tuple, buffering its emissions and
+// its XOR ack (input edge ^ new edges) in the persistent emitter; the
+// batch-level flush ships both and releases the pending credits. Remote
+// inputs are decoded here — and their pooled encode buffer recycled the
+// moment decode returns, since decodeValues copies every payload out.
+func (le *liveExec) process(m liveMsg, em *boltEmitter) {
 	eng := le.eng
 	t0 := time.Now()
 	if m.enc != nil {
 		vals, err := decodeValues(m.enc, m.extras)
+		eng.encPool.put(m.enc)
 		if err != nil {
 			// Corrupt payload: drop the tuple (cannot happen with the
 			// symmetric codec; defensive).
 			le.cpuNanos.Add(int64(time.Since(t0)))
 			eng.pending.Add(-1)
-			return true
+			return
 		}
 		m.tup.Values = vals
 	}
-	em := boltEmitter{le: le, bornAt: m.bornAt, root: m.tup.Root}
-	le.bolt.Execute(m.tup, &em)
+	em.bornAt = m.bornAt
+	em.root = m.tup.Root
+	em.xorAcc = 0
+	le.bolt.Execute(m.tup, em)
 	busy := time.Since(t0)
 	le.cpuNanos.Add(int64(busy))
 	le.procLat.Add(float64(busy) / 1e6)
@@ -331,27 +456,10 @@ func (le *liveExec) process(m liveMsg, acks *[]ctlAcc, die <-chan struct{}) bool
 			eng.latency.Add(time.Since(m.bornAt).Seconds() * 1e3)
 		}
 	}
-	var sent int64
-	for i := range em.deliveries {
-		sent += int64(len(em.deliveries[i].msgs))
+	if m.tup.Root != 0 && len(le.ackers) > 0 {
+		le.addAck(m.tup.Root, m.tup.Edge^em.xorAcc)
 	}
-	le.emitted.Add(sent)
-	ok := true
-	for i := range em.deliveries {
-		if !eng.deliver(&em.deliveries[i], die) {
-			ok = false
-			break
-		}
-	}
-	if ok && m.tup.Root != 0 {
-		if ak := le.ackerFor(eng.routes.Load(), m.tup.Root); ak != nil {
-			appendCtl(acks, ak, ctlMsg{
-				kind: ctlAck, root: m.tup.Root, xor: m.tup.Edge ^ em.xorAcc,
-			})
-		}
-	}
-	eng.pending.Add(-1)
-	return ok
+	em.done++
 }
 
 // newEdgeID draws a non-zero random tuple ID on the owning goroutine.
@@ -370,7 +478,8 @@ type spoutEmitter struct {
 	deliveries []delivery
 	acks       []any
 	rootEmits  []liveRootEmit
-	roots      int
+	roots      int // roots emitted since the last flush
+	buffered   int // transfers buffered since the last flush
 }
 
 var _ engine.SpoutEmitter = (*spoutEmitter)(nil)
@@ -379,6 +488,7 @@ func (e *spoutEmitter) Emit(stream string, vals tuple.Values) {
 	n, _ := e.le.route(&e.deliveries, stream, vals, time.Now(), 0)
 	if n >= 0 {
 		e.roots++
+		e.buffered += n
 	}
 }
 
@@ -388,6 +498,7 @@ func (e *spoutEmitter) EmitWithID(stream string, vals tuple.Values, msgID any) {
 		n, _ := e.le.route(&e.deliveries, stream, vals, time.Now(), 0)
 		if n >= 0 {
 			e.roots++
+			e.buffered += n
 			e.acks = append(e.acks, msgID)
 		}
 		return
@@ -398,6 +509,7 @@ func (e *spoutEmitter) EmitWithID(stream string, vals tuple.Values, msgID any) {
 		return // undeclared stream
 	}
 	e.roots++
+	e.buffered += n
 	if n == 0 {
 		// No consumers: the tree is complete the moment it is emitted.
 		e.acks = append(e.acks, msgID)
@@ -409,6 +521,7 @@ func (e *spoutEmitter) EmitWithID(stream string, vals tuple.Values, msgID any) {
 func (e *spoutEmitter) EmitDirect(consumer string, taskIndex int, stream string, vals tuple.Values) {
 	if _, ok := e.le.routeDirect(&e.deliveries, consumer, taskIndex, stream, vals, time.Now(), 0); ok {
 		e.roots++
+		e.buffered++
 	}
 }
 
@@ -418,16 +531,26 @@ type boltEmitter struct {
 	root       tuple.ID // anchor inherited from the input tuple (0 = unanchored)
 	xorAcc     tuple.ID // XOR of the edge IDs this Execute emitted
 	deliveries []delivery
+	buffered   int // transfers buffered since the last flush
+	done       int // inputs processed since the last flush (pending credits)
 }
 
 var _ engine.Emitter = (*boltEmitter)(nil)
 
 func (e *boltEmitter) Emit(stream string, vals tuple.Values) {
-	_, xor := e.le.route(&e.deliveries, stream, vals, e.bornAt, e.root)
+	n, xor := e.le.route(&e.deliveries, stream, vals, e.bornAt, e.root)
 	e.xorAcc ^= xor
+	if n > 0 {
+		e.buffered += n
+		e.le.emitted.Add(int64(n))
+	}
 }
 
 func (e *boltEmitter) EmitDirect(consumer string, taskIndex int, stream string, vals tuple.Values) {
-	eid, _ := e.le.routeDirect(&e.deliveries, consumer, taskIndex, stream, vals, e.bornAt, e.root)
+	eid, ok := e.le.routeDirect(&e.deliveries, consumer, taskIndex, stream, vals, e.bornAt, e.root)
 	e.xorAcc ^= eid
+	if ok {
+		e.buffered++
+		e.le.emitted.Add(1)
+	}
 }

@@ -173,8 +173,10 @@ func (le *liveExec) drainWhileDead(stop <-chan struct{}, done chan<- struct{}) {
 		case batch := <-le.in:
 			eng.pending.Add(-int64(len(batch)))
 			eng.dropped.Add(int64(len(batch)))
+			eng.recycleBatch(batch)
 		case batch := <-le.ctl:
 			eng.dropped.Add(int64(len(batch)))
+			eng.ctlPool.put(batch)
 		}
 	}
 }

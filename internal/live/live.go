@@ -259,6 +259,18 @@ type Engine struct {
 	// First-emit time survives replays, so a root that timed out, replayed
 	// and then completed reports its full latency, as in Fig. 3.
 	rootLat *metrics.SyncHistogram
+
+	// ctlCombined counts XOR acks folded into an already-buffered ack for
+	// the same root before reaching a channel (sender-side combining).
+	ctlCombined atomic.Int64
+
+	// Batch pools for the zero-alloc emission path (pool.go): delivery
+	// batches, acker control batches, completion-event batches, and codec
+	// encode buffers.
+	msgPool batchPool[liveMsg]
+	ctlPool batchPool[ctlMsg]
+	ackPool batchPool[ackEvent]
+	encPool batchPool[byte]
 }
 
 // NewEngine returns a live engine over the given emulated cluster.
@@ -281,6 +293,7 @@ func NewEngine(cfg Config, cl *cluster.Cluster) (*Engine, error) {
 		latency:   metrics.NewSyncLatencyHistogram(),
 		rootLat:   metrics.NewSyncLatencyHistogram(),
 	}
+	eng.encPool.newCap = encBufCap
 	if len(cfg.LocalSlots) > 0 {
 		if cfg.Remote == nil {
 			return nil, fmt.Errorf("live: LocalSlots requires a Remote sink")
@@ -397,7 +410,7 @@ func (eng *Engine) newExec(app *engine.App, id topology.ExecutorID) *liveExec {
 		dense:      len(eng.denseRev),
 		comp:       comp,
 		app:        app,
-		shuffleCtr: make(map[string]int),
+		outStreams: buildOutStreams(app.Topology, comp),
 		rand: rand.New(rand.NewPCG(eng.cfg.Seed,
 			uint64(len(eng.denseRev))+1)),
 	}
@@ -458,7 +471,12 @@ func (eng *Engine) Start() error {
 		eng.started.Store(false)
 		return fmt.Errorf("live: nothing submitted")
 	}
+	rt := eng.routes.Load()
 	for _, le := range eng.execs {
+		// Cache the topology's acker task list: the executor set never
+		// changes after Submit, so these pointers are stable for the
+		// engine's lifetime and the ack path never walks byComp again.
+		le.ackers = rt.byComp[compKey{topo: le.id.Topology, comp: topology.AckerComponent}]
 		le.ctx = &engine.Context{
 			Topology:    le.id.Topology,
 			Component:   le.id.Component,

@@ -1,0 +1,104 @@
+package live
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the engine's object-pooling layer: every batch slice that
+// crosses an executor boundary on the hot path — delivery batches
+// ([]liveMsg), acker control batches ([]ctlMsg), completion-event batches
+// ([]ackEvent) and codec encode buffers ([]byte) — is drawn from a
+// sync.Pool and returned after its single consumer is done with it, so
+// steady-state emission allocates nothing per tuple.
+//
+// Ownership rules (see DESIGN.md "Pooling lifetime rules"):
+//
+//   - The sender allocates a batch from the pool and owns it until the
+//     hand-off point (channel send or remote frame encode) succeeds.
+//   - A successful channel send transfers ownership to the single receiver
+//     goroutine, which returns the batch after folding/processing it.
+//   - On the remote path the frame encode copies everything out, so the
+//     sending side returns the batch immediately after encoding.
+//   - Batches dropped at dead executors are returned by the dropper.
+//   - put clears the used prefix so pooled memory never pins tuple
+//     payloads; oversized batches are left to the GC to bound pool growth.
+//
+// Encode buffers follow the same life cycle one level down: allocated by
+// the sender in appendDelivery, released by the receiving bolt right after
+// decodeValues copied the payload out (decode copies strings and byte
+// runs, so the buffer is dead the moment it returns).
+
+const (
+	// poolMinCap is the capacity of a freshly allocated pooled batch.
+	poolMinCap = 16
+	// poolMaxCap bounds what put accepts back; anything a fan-out grew
+	// beyond it is left to the GC so one huge batch cannot pin memory.
+	poolMaxCap = 4096
+	// encBufCap is the initial capacity of a pooled encode buffer.
+	encBufCap = 128
+)
+
+// batchPool is a typed sync.Pool of reusable slices with hit/miss
+// telemetry. The zero value is ready to use.
+type batchPool[T any] struct {
+	pool   sync.Pool
+	newCap int
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// get returns an empty slice with whatever capacity the pool had on hand.
+func (p *batchPool[T]) get() []T {
+	if v := p.pool.Get(); v != nil {
+		p.hits.Add(1)
+		return (*v.(*[]T))[:0]
+	}
+	p.misses.Add(1)
+	c := p.newCap
+	if c <= 0 {
+		c = poolMinCap
+	}
+	return make([]T, 0, c)
+}
+
+// put recycles a slice after its single consumer finished with it. The
+// used prefix is cleared so recycled backing arrays never keep dead tuple
+// payloads (or their encode buffers) reachable.
+func (p *batchPool[T]) put(s []T) {
+	if cap(s) == 0 || cap(s) > poolMaxCap {
+		return
+	}
+	clear(s)
+	s = s[:0]
+	p.pool.Put(&s)
+}
+
+// stats returns the pool's lifetime hit/miss counters.
+func (p *batchPool[T]) stats() (hits, misses int64) {
+	return p.hits.Load(), p.misses.Load()
+}
+
+// PoolStat is one batch pool's lifetime reuse counters, for telemetry.
+type PoolStat struct {
+	// Name identifies the pool: "msg", "ctl", "ack" or "enc".
+	Name string
+	// Hits counts gets served from recycled memory; Misses counts gets
+	// that had to allocate.
+	Hits   int64
+	Misses int64
+}
+
+// PoolStats snapshots every batch pool's counters in fixed order.
+func (eng *Engine) PoolStats() []PoolStat {
+	out := make([]PoolStat, 0, 4)
+	h, m := eng.msgPool.stats()
+	out = append(out, PoolStat{Name: "msg", Hits: h, Misses: m})
+	h, m = eng.ctlPool.stats()
+	out = append(out, PoolStat{Name: "ctl", Hits: h, Misses: m})
+	h, m = eng.ackPool.stats()
+	out = append(out, PoolStat{Name: "ack", Hits: h, Misses: m})
+	h, m = eng.encPool.stats()
+	out = append(out, PoolStat{Name: "enc", Hits: h, Misses: m})
+	return out
+}

@@ -229,7 +229,7 @@ func encodeCtlFrame(to topology.ExecutorID, msgs []ctlMsg) []byte {
 }
 
 func encodeAckFrame(to topology.ExecutorID, evs []ackEvent) []byte {
-	buf := make([]byte, 0, 32+9*len(evs))
+	buf := make([]byte, 0, 32+17*len(evs))
 	buf = appendFrameHeader(buf, frameAck, to)
 	buf = binary.AppendUvarint(buf, uint64(len(evs)))
 	for _, ev := range evs {
@@ -239,6 +239,11 @@ func encodeAckFrame(to topology.ExecutorID, evs []ackEvent) []byte {
 			late = 1
 		}
 		buf = append(buf, late)
+		var at int64
+		if !ev.at.IsZero() {
+			at = ev.at.UnixNano()
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(at))
 	}
 	return buf
 }
@@ -305,12 +310,15 @@ func decodeFrame(buf []byte) (*wireFrame, error) {
 			f.ctl = append(f.ctl, m)
 		}
 	case frameAck:
-		n := r.count(9)
+		n := r.count(17)
 		f.acks = make([]ackEvent, 0, n)
 		for i := 0; i < n; i++ {
 			var ev ackEvent
 			ev.root = tuple.ID(r.uint64())
 			ev.late = r.byte() == 1
+			if at := int64(r.uint64()); at != 0 {
+				ev.at = time.Unix(0, at)
+			}
 			if r.err != nil {
 				return nil, r.err
 			}
@@ -389,6 +397,9 @@ func (eng *Engine) Ingest(buf []byte) error {
 			return nil
 		}
 		le.ackMu.Lock()
+		if le.ackEvents == nil {
+			le.ackEvents = eng.ackPool.get()
+		}
 		le.ackEvents = append(le.ackEvents, f.acks...)
 		le.ackMu.Unlock()
 	}
@@ -410,7 +421,12 @@ func (eng *Engine) remoteSend(to cluster.SlotID, frame []byte) bool {
 // fleet). Undeliverable or unencodable messages count as dropped.
 func (eng *Engine) sendRemoteData(rt *routeTable, d *delivery) bool {
 	n := int64(len(d.msgs))
+	from := d.msgs[0].from
 	frame, skipped := encodeDataFrame(d.to.id, d.msgs)
+	// The frame encode copied everything out; the batch and its pooled
+	// encode buffers are recycled here whatever happens to the frame.
+	eng.recycleBatch(d.msgs)
+	d.msgs = nil
 	if skipped > 0 {
 		eng.dropped.Add(skipped)
 		n -= skipped
@@ -429,7 +445,6 @@ func (eng *Engine) sendRemoteData(rt *routeTable, d *delivery) bool {
 	case hopInterProc:
 		eng.interProcSent.Add(n)
 	}
-	from := d.msgs[0].from
 	if m := eng.edges.Load(); m != nil {
 		m.counts[from*m.n+d.to.dense].byHop[d.hop].Add(n)
 	}
@@ -444,10 +459,11 @@ func (eng *Engine) sendRemoteData(rt *routeTable, d *delivery) bool {
 func (eng *Engine) forwardStranded(le *liveExec, batch []liveMsg) {
 	rt := eng.routes.Load()
 	frame, skipped := encodeDataFrame(le.id, batch)
+	n := int64(len(batch)) - skipped
+	eng.recycleBatch(batch)
 	if skipped > 0 {
 		eng.dropped.Add(skipped)
 	}
-	n := int64(len(batch)) - skipped
 	if n <= 0 {
 		return
 	}
@@ -459,10 +475,11 @@ func (eng *Engine) forwardStranded(le *liveExec, batch []liveMsg) {
 
 func (eng *Engine) forwardStrandedCtl(le *liveExec, batch []ctlMsg) {
 	rt := eng.routes.Load()
-	if !rt.local[le.dense] && eng.remoteSend(rt.slotOf[le.dense], encodeCtlFrame(le.id, batch)) {
-		return
+	sent := !rt.local[le.dense] && eng.remoteSend(rt.slotOf[le.dense], encodeCtlFrame(le.id, batch))
+	if !sent {
+		eng.dropped.Add(int64(len(batch)))
 	}
-	eng.dropped.Add(int64(len(batch)))
+	eng.ctlPool.put(batch)
 }
 
 // pumpRemote drains a non-resident executor's local queues for as long as

@@ -21,11 +21,59 @@ const (
 // queue awaiting enqueue. Tuples routed to the same executor within one
 // emit cycle are appended here and later enqueued with a single channel
 // operation, so a cycle pays one send per distinct target instead of one
-// per tuple.
+// per tuple. The msgs slice comes from the engine's batch pool; ownership
+// transfers to the receiver on a successful enqueue (see pool.go).
 type delivery struct {
 	to   *liveExec
 	hop  hopKind
 	msgs []liveMsg
+}
+
+// outEdge is one cached consumer edge of an output stream with its
+// grouping state: the consumer's parallelism, pre-resolved field indexes
+// for fields grouping, and the round-robin counter shuffle groupings
+// advance. Resolving all of this once at executor construction keeps the
+// per-emission path free of topology map lookups, string-key hashing and
+// the slice allocations the old per-call Consumers() walk paid.
+type outEdge struct {
+	edge     topology.ConsumerEdge
+	par      int   // consumer parallelism
+	fieldIdx []int // FieldsGrouping: schema indexes of the grouping fields
+	ctr      int   // shuffle / local-or-shuffle round-robin position
+}
+
+// outStream caches one output stream's schema and its non-direct consumer
+// edges. Touched only by the owning executor goroutine.
+type outStream struct {
+	schema tuple.Fields
+	edges  []outEdge
+}
+
+// buildOutStreams precomputes every output stream's routing state for one
+// executor. Direct-grouping subscribers are excluded (EmitDirect resolves
+// them explicitly), mirroring route's old skip.
+func buildOutStreams(top *topology.Topology, comp *topology.Component) map[string]*outStream {
+	out := make(map[string]*outStream, len(comp.Outputs))
+	for stream, schema := range comp.Outputs {
+		os := &outStream{schema: schema}
+		for _, edge := range top.Consumers(comp.Name, stream) {
+			if edge.Grouping.Type == topology.DirectGrouping {
+				continue
+			}
+			cons, _ := top.Component(edge.Consumer)
+			oe := outEdge{edge: edge, par: cons.Parallelism}
+			if edge.Grouping.Type == topology.FieldsGrouping {
+				for _, fn := range edge.Grouping.FieldNames {
+					if idx, ok := schema.Index(fn); ok {
+						oe.fieldIdx = append(oe.fieldIdx, idx)
+					}
+				}
+			}
+			os.edges = append(os.edges, oe)
+		}
+		out[stream] = os
+	}
+	return out
 }
 
 // route resolves one logical emission to per-target deliveries, paying the
@@ -43,24 +91,20 @@ func (le *liveExec) route(out *[]delivery, stream string, vals tuple.Values, bor
 	if stream == "" {
 		stream = topology.DefaultStream
 	}
-	schema, ok := le.comp.Outputs[stream]
-	if !ok {
+	os := le.outStreams[stream]
+	if os == nil {
 		return -1, 0
 	}
 	rt := le.eng.routes.Load()
-	top := le.app.Topology
 	srcSlot := rt.slotOf[le.dense]
 	size := tuple.SizeOf(vals)
 	n := 0
 	var xorAcc tuple.ID
 
-	for _, edge := range top.Consumers(le.comp.Name, stream) {
-		if edge.Grouping.Type == topology.DirectGrouping {
-			continue
-		}
-		cons, _ := top.Component(edge.Consumer)
-		for _, idx := range le.chooseTargets(rt, edge, cons.Parallelism, schema, vals, srcSlot) {
-			tgt := rt.executor(le.id.Topology, edge.Consumer, idx)
+	for ei := range os.edges {
+		e := &os.edges[ei]
+		for _, idx := range le.chooseTargets(rt, e, vals, srcSlot) {
+			tgt := rt.executor(le.id.Topology, e.edge.Consumer, idx)
 			if tgt == nil || tgt.in == nil {
 				continue
 			}
@@ -82,7 +126,7 @@ func (le *liveExec) routeDirect(out *[]delivery, consumer string, taskIndex int,
 	if stream == "" {
 		stream = topology.DefaultStream
 	}
-	if _, ok := le.comp.Outputs[stream]; !ok {
+	if le.outStreams[stream] == nil {
 		return 0, false
 	}
 	top := le.app.Topology
@@ -105,9 +149,10 @@ func (le *liveExec) routeDirect(out *[]delivery, consumer string, taskIndex int,
 
 // appendDelivery builds one transfer, paying the sender-side cost of the
 // boundary it crosses, and appends it to the target's batch (opening a
-// new batch for a target not yet seen this cycle). Local transfers share
-// the Values slice (tuples are immutable by contract); remote transfers
-// carry the encoded payload and the receiver decodes it.
+// new pooled batch for a target not yet seen since the last flush). Local
+// transfers share the Values slice (tuples are immutable by contract);
+// remote transfers carry the payload encoded into a pooled buffer and the
+// receiver decodes (and then recycles) it.
 func (le *liveExec) appendDelivery(out *[]delivery, rt *routeTable, tgt *liveExec, srcSlot cluster.SlotID, stream string, vals tuple.Values, size int, bornAt time.Time, root, edge tuple.ID) {
 	dstSlot := rt.slotOf[tgt.dense]
 	msg := liveMsg{
@@ -129,10 +174,10 @@ func (le *liveExec) appendDelivery(out *[]delivery, rt *routeTable, tgt *liveExe
 		msg.tup.Values = vals
 	case srcSlot.Node == dstSlot.Node:
 		hop = hopInterProc
-		msg.enc, msg.extras = encodeValues(vals)
+		msg.enc, msg.extras = encodeValuesInto(le.eng.encPool.get(), vals)
 	default:
 		hop = hopInterNode
-		msg.enc, msg.extras = encodeValues(vals)
+		msg.enc, msg.extras = encodeValuesInto(le.eng.encPool.get(), vals)
 		// Kernel/NIC copy work: extra passes over the wire bytes.
 		for i := 0; i < le.eng.cfg.InterNodeCopies; i++ {
 			for _, b := range msg.enc {
@@ -156,55 +201,68 @@ func (le *liveExec) appendDelivery(out *[]delivery, rt *routeTable, tgt *liveExe
 			return
 		}
 	}
-	*out = append(*out, delivery{to: tgt, hop: hop, msgs: []liveMsg{msg}})
+	*out = append(*out, delivery{to: tgt, hop: hop, msgs: append(le.eng.msgPool.get(), msg)})
 }
 
-// chooseTargets picks the receiving task indexes for one consumer edge,
-// resolving LocalOrShuffleGrouping's locality set from the routing
-// snapshot. The logic mirrors the simulated engine's chooseTargets so
-// both backends route identically.
-func (le *liveExec) chooseTargets(rt *routeTable, edge topology.ConsumerEdge, parallelism int, schema tuple.Fields, vals tuple.Values, srcSlot cluster.SlotID) []int {
-	switch edge.Grouping.Type {
+// chooseTargets picks the receiving task indexes for one consumer edge
+// into the executor's scratch slice, resolving LocalOrShuffleGrouping's
+// locality set from the routing snapshot. The logic (and the round-robin
+// and hash sequences) mirrors the simulated engine's chooseTargets so
+// both backends route identically; fields keys are built into a reused
+// buffer and hashed without the intermediate string.
+func (le *liveExec) chooseTargets(rt *routeTable, e *outEdge, vals tuple.Values, srcSlot cluster.SlotID) []int {
+	out := le.targetScratch[:0]
+	switch e.edge.Grouping.Type {
 	case topology.ShuffleGrouping:
-		key := edge.Consumer + "\x00" + edge.Grouping.SourceStream
-		i := le.shuffleCtr[key]
-		le.shuffleCtr[key] = i + 1
-		return []int{(i + le.id.Index) % parallelism}
+		i := e.ctr
+		e.ctr++
+		out = append(out, (i+le.id.Index)%e.par)
 	case topology.LocalOrShuffleGrouping:
-		var local []int
+		local := le.localScratch[:0]
 		for _, peer := range rt.groups[srcSlot] {
-			if peer.id.Component == edge.Consumer {
+			if peer.id.Component == e.edge.Consumer {
 				local = append(local, peer.id.Index)
 			}
 		}
-		key := edge.Consumer + "\x00local\x00" + edge.Grouping.SourceStream
-		i := le.shuffleCtr[key]
-		le.shuffleCtr[key] = i + 1
+		le.localScratch = local
+		i := e.ctr
+		e.ctr++
 		if len(local) > 0 {
-			return []int{local[(i+le.id.Index)%len(local)]}
+			out = append(out, local[(i+le.id.Index)%len(local)])
+		} else {
+			out = append(out, (i+le.id.Index)%e.par)
 		}
-		return []int{(i + le.id.Index) % parallelism}
 	case topology.FieldsGrouping:
-		key := ""
-		for _, fn := range edge.Grouping.FieldNames {
-			idx, ok := schema.Index(fn)
-			if !ok || idx >= len(vals) {
+		key := le.keyScratch[:0]
+		for _, idx := range e.fieldIdx {
+			if idx >= len(vals) {
 				continue
 			}
-			key += tuple.KeyString(vals[idx]) + "\x1f"
+			key = tuple.AppendKey(key, vals[idx])
+			key = append(key, '\x1f')
 		}
-		return []int{tuple.HashKey(key, parallelism)}
+		le.keyScratch = key
+		out = append(out, tuple.HashKeyBytes(key, e.par))
 	case topology.AllGrouping:
-		out := make([]int, parallelism)
-		for i := range out {
-			out[i] = i
+		for i := 0; i < e.par; i++ {
+			out = append(out, i)
 		}
-		return out
 	case topology.GlobalGrouping:
-		return []int{0}
-	default:
-		return nil
+		out = append(out, 0)
 	}
+	le.targetScratch = out
+	return out
+}
+
+// recycleBatch returns an un-enqueued delivery batch and its encode
+// buffers to the pools — the drop paths' side of the ownership contract.
+func (eng *Engine) recycleBatch(msgs []liveMsg) {
+	for i := range msgs {
+		if msgs[i].enc != nil {
+			eng.encPool.put(msgs[i].enc)
+		}
+	}
+	eng.msgPool.put(msgs)
 }
 
 // deliver enqueues one routed batch, blocking while the target queue is
@@ -213,7 +271,8 @@ func (le *liveExec) chooseTargets(rt *routeTable, edge topology.ConsumerEdge, pa
 // dropped on the floor — anchored roots recover via timeout + replay — so
 // senders never wedge on a crashed worker's full queue. The transfers are
 // counted only once enqueued, so the statistics match what receivers will
-// actually observe.
+// actually observe. deliver owns d.msgs on every outcome: a successful
+// channel send hands it to the receiver, every other path recycles it.
 func (eng *Engine) deliver(d *delivery, die <-chan struct{}) bool {
 	n := int64(len(d.msgs))
 	if n == 0 {
@@ -226,16 +285,20 @@ func (eng *Engine) deliver(d *delivery, die <-chan struct{}) bool {
 	}
 	if d.to.dead.Load() {
 		eng.dropped.Add(n)
+		eng.recycleBatch(d.msgs)
 		return true
 	}
+	from := d.msgs[0].from
 	eng.pending.Add(n)
 	select {
 	case d.to.in <- d.msgs:
 	case <-eng.stopCh:
 		eng.pending.Add(-n)
+		eng.recycleBatch(d.msgs)
 		return false
 	case <-die:
 		eng.pending.Add(-n)
+		eng.recycleBatch(d.msgs)
 		return false
 	}
 	eng.tuplesSent.Add(n)
@@ -245,7 +308,6 @@ func (eng *Engine) deliver(d *delivery, die <-chan struct{}) bool {
 	case hopInterProc:
 		eng.interProcSent.Add(n)
 	}
-	from := d.msgs[0].from
 	if m := eng.edges.Load(); m != nil {
 		m.counts[from*m.n+d.to.dense].byHop[d.hop].Add(n)
 	}

@@ -44,10 +44,22 @@ type Totals struct {
 	// FailNode; WorkerRestarts counts supervisor restarts.
 	WorkerCrashes  int64
 	WorkerRestarts int64
+	// CtlCombined counts XOR acks folded into an already-buffered ack for
+	// the same root on the sender side, before reaching any channel.
+	CtlCombined int64
+	// PoolHits and PoolMisses sum the batch pools' reuse counters (pool.go):
+	// hits served recycled memory, misses had to allocate.
+	PoolHits   int64
+	PoolMisses int64
 }
 
 // Totals returns the current counter snapshot.
 func (eng *Engine) Totals() Totals {
+	var poolHits, poolMisses int64
+	for _, ps := range eng.PoolStats() {
+		poolHits += ps.Hits
+		poolMisses += ps.Misses
+	}
 	return Totals{
 		RootsEmitted:     eng.rootsEmitted.Load(),
 		TuplesSent:       eng.tuplesSent.Load(),
@@ -64,6 +76,9 @@ func (eng *Engine) Totals() Totals {
 		Dropped:          eng.dropped.Load(),
 		WorkerCrashes:    eng.workerCrashes.Load(),
 		WorkerRestarts:   eng.workerRestarts.Load(),
+		CtlCombined:      eng.ctlCombined.Load(),
+		PoolHits:         poolHits,
+		PoolMisses:       poolMisses,
 	}
 }
 
@@ -85,6 +100,9 @@ func (t Totals) Sub(o Totals) Totals {
 		Dropped:          t.Dropped - o.Dropped,
 		WorkerCrashes:    t.WorkerCrashes - o.WorkerCrashes,
 		WorkerRestarts:   t.WorkerRestarts - o.WorkerRestarts,
+		CtlCombined:      t.CtlCombined - o.CtlCombined,
+		PoolHits:         t.PoolHits - o.PoolHits,
+		PoolMisses:       t.PoolMisses - o.PoolMisses,
 	}
 }
 

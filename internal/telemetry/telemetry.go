@@ -196,9 +196,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"tstorm_ack_late_total", "Acked roots whose completion arrived after a timeout.", t.LateAcked},
 		{"tstorm_ack_failed_total", "Roots failed by a spout's timeout wheel.", t.FailedRoots},
 		{"tstorm_ack_replayed_total", "Re-emits of an already-pending spout message ID.", t.Replayed},
+		{"tstorm_ack_combined_total", "XOR acks folded sender-side into a buffered ack for the same root.", t.CtlCombined},
 		{"tstorm_engine_dropped_total", "Tuples dropped at (or drained from) dead executors.", t.Dropped},
 		{"tstorm_worker_crashes_total", "Executor goroutines killed by fault injection.", t.WorkerCrashes},
 		{"tstorm_worker_restarts_total", "Executors restarted by the supervisor.", t.WorkerRestarts},
+		{"tstorm_pool_hits_total", "Batch-pool gets served from recycled memory.", t.PoolHits},
+		{"tstorm_pool_misses_total", "Batch-pool gets that had to allocate.", t.PoolMisses},
 	}
 	for _, c := range ackCounters {
 		e.family(c.name, c.help, "counter")

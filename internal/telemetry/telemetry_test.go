@@ -117,9 +117,12 @@ func TestMetricsDeterministicAndComplete(t *testing.T) {
 		"tstorm_ack_late_total",
 		"tstorm_ack_failed_total",
 		"tstorm_ack_replayed_total",
+		"tstorm_ack_combined_total",
 		"tstorm_engine_dropped_total",
 		"tstorm_worker_crashes_total",
 		"tstorm_worker_restarts_total",
+		"tstorm_pool_hits_total",
+		"tstorm_pool_misses_total",
 		"tstorm_ack_pending",
 		"tstorm_latency_ms",
 		"tstorm_completion_latency_ms",

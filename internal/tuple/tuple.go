@@ -135,3 +135,49 @@ func HashKey(v any, n int) int {
 	_, _ = h.Write([]byte(KeyString(v)))
 	return int(h.Sum64() % uint64(n))
 }
+
+// AppendKey appends KeyString(v) to dst without allocating for the common
+// payload types, so hot routing paths can build composite grouping keys
+// into a reused buffer. For any value, string(AppendKey(nil, v)) ==
+// KeyString(v).
+func AppendKey(dst []byte, v any) []byte {
+	switch x := v.(type) {
+	case string:
+		return append(dst, x...)
+	case []byte:
+		return append(dst, x...)
+	case int:
+		return strconv.AppendInt(dst, int64(x), 10)
+	case int64:
+		return strconv.AppendInt(dst, x, 10)
+	case uint64:
+		return strconv.AppendUint(dst, x, 10)
+	case bool:
+		if x {
+			return append(dst, "true"...)
+		}
+		return append(dst, "false"...)
+	case float64:
+		return strconv.AppendFloat(dst, x, 'g', -1, 64)
+	default:
+		return append(dst, KeyString(v)...)
+	}
+}
+
+// FNV-1a constants, matching hash/fnv's 64-bit variant.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// HashKeyBytes hashes a pre-built grouping key to a bucket in [0, n),
+// producing exactly HashKey(string(key), n) without the intermediate
+// string. n must be positive.
+func HashKeyBytes(key []byte, n int) int {
+	h := uint64(fnvOffset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= fnvPrime64
+	}
+	return int(h % uint64(n))
+}

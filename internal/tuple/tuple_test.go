@@ -133,3 +133,42 @@ func TestTupleString(t *testing.T) {
 		}
 	}
 }
+
+func TestAppendKeyMatchesKeyString(t *testing.T) {
+	vals := []any{
+		"word", "", []byte("raw"), []byte{},
+		0, -7, 1 << 40, int64(-1 << 50), uint64(1<<64 - 1),
+		true, false,
+		0.0, -2.5, 1e300, 3.14159,
+		struct{ A int }{7}, // default path falls back to KeyString
+	}
+	for _, v := range vals {
+		want := KeyString(v)
+		if got := string(AppendKey(nil, v)); got != want {
+			t.Errorf("AppendKey(nil, %#v) = %q, want %q", v, got, want)
+		}
+		// Appending must preserve the prefix.
+		if got := string(AppendKey([]byte("pre|"), v)); got != "pre|"+want {
+			t.Errorf("AppendKey(pre, %#v) = %q, want %q", v, got, "pre|"+want)
+		}
+	}
+}
+
+func TestHashKeyBytesMatchesHashKey(t *testing.T) {
+	vals := []any{"word", "", []byte("raw"), 42, int64(-9), uint64(7), true, false, 2.5}
+	for _, v := range vals {
+		for _, n := range []int{1, 2, 3, 4, 7, 8, 64, 1000} {
+			want := HashKey(v, n)
+			if got := HashKeyBytes(AppendKey(nil, v), n); got != want {
+				t.Errorf("HashKeyBytes(%#v, %d) = %d, want %d", v, n, got, want)
+			}
+		}
+	}
+	// Composite keys (multi-field grouping) hash like their concatenation.
+	key := AppendKey(nil, "alpha")
+	key = append(key, '\x1f')
+	key = AppendKey(key, 42)
+	if got, want := HashKeyBytes(key, 16), HashKey("alpha\x1f42", 16); got != want {
+		t.Errorf("composite HashKeyBytes = %d, want %d", got, want)
+	}
+}

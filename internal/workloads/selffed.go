@@ -30,7 +30,8 @@ type SelfFedWordCountConfig struct {
 	// replayed, and the reader's progress ledger lives outside the spout
 	// instance so it survives worker crashes and supervised restarts.
 	Reliable bool
-	// Ackers is the acker executor count (Reliable only; default 1).
+	// Ackers is the acker executor count (Reliable only; default 4,
+	// sharded by root ID so ack traffic never serializes on one task).
 	Ackers int
 	// MaxPending caps each reader's outstanding un-acked lines
 	// (Reliable only; default 128).
@@ -224,7 +225,7 @@ func buildSelfFedWordCount(cfg SelfFedWordCountConfig) (*engine.App, *SelfFedAud
 	if cfg.Reliable {
 		ackers := cfg.Ackers
 		if ackers <= 0 {
-			ackers = 1
+			ackers = 4
 		}
 		b.SetAckers(ackers)
 	}
