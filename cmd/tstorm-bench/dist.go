@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"tstorm/internal/cluster"
@@ -14,6 +15,7 @@ import (
 	"tstorm/internal/loaddb"
 	"tstorm/internal/scheduler"
 	"tstorm/internal/topology"
+	"tstorm/internal/tracing"
 	"tstorm/internal/workloads"
 )
 
@@ -39,8 +41,34 @@ type distReport struct {
 	DurationSec float64   `json:"duration_sec"`
 	Runs        []distRun `json:"runs"`
 	// Speedup is T-Storm's measured tuples/s over round-robin's.
-	Speedup  float64      `json:"speedup"`
-	Recovery *recoveryRun `json:"recovery,omitempty"`
+	Speedup  float64          `json:"speedup"`
+	Recovery *recoveryRun     `json:"recovery,omitempty"`
+	Tracing  *distTraceReport `json:"tracing,omitempty"`
+}
+
+// distTraceReport is the tuple-tracing phase: the sampled-tracing overhead
+// pair (the same reliable fleet measured with tracing off and with 1-in-
+// SamplingRate sampling on, over identical reschedule scenarios) and the
+// wire-hop latency attribution the sampled trees give — the share of
+// critical-path time spent crossing process/node boundaries, before and
+// after one T-Storm reschedule.
+type distTraceReport struct {
+	SamplingRate    int     `json:"sampling_rate"`
+	OffTuplesPerSec float64 `json:"off_tuples_per_sec"`
+	OnTuplesPerSec  float64 `json:"on_tuples_per_sec"`
+	// DeltaFraction is (off-on)/off: the measured throughput cost of
+	// tracing at the sampling rate. Acceptance budget: ≤3%.
+	DeltaFraction float64 `json:"delta_fraction"`
+	// Trees/P99/WireShare are taken from the sampled trees drained in a
+	// window before the reschedule and a window after it. WireShare is the
+	// fraction of sampled critical-path time attributed to inter-process +
+	// inter-node hops.
+	TreesBefore     int     `json:"trees_before"`
+	TreesAfter      int     `json:"trees_after"`
+	P99BeforeMs     float64 `json:"p99_before_ms"`
+	P99AfterMs      float64 `json:"p99_after_ms"`
+	WireShareBefore float64 `json:"wire_share_before"`
+	WireShareAfter  float64 `json:"wire_share_after"`
 }
 
 const distWorkers = 3
@@ -118,6 +146,16 @@ func runDist(duration time.Duration, seed uint64, jsonPath string) error {
 	fmt.Printf("recovery (kill -9 one worker process): %.0f ms back to 90%% of %.0f tuples/s; lost roots %d, replays %d, process crashes %d, respawns %d\n",
 		rec.RecoveryMs, rec.PreCrashTuplesPerSec, rec.LostRoots, rec.Replays,
 		rec.WorkerCrashes, rec.WorkerRestarts)
+
+	tr, err := runDistTrace(duration, seed)
+	if err != nil {
+		return fmt.Errorf("dist tracing run: %w", err)
+	}
+	rep.Tracing = &tr
+	fmt.Printf("tuple tracing (1/%d sampled): p99 completion %.1f ms with %.0f%% of the critical path on wire hops before the T-Storm reschedule -> %.1f ms with %.0f%% after (%d/%d trees); throughput %.0f -> %.0f tuples/s with tracing on (%+.1f%% delta, budget 3%%)\n",
+		tr.SamplingRate, tr.P99BeforeMs, 100*tr.WireShareBefore,
+		tr.P99AfterMs, 100*tr.WireShareAfter, tr.TreesBefore, tr.TreesAfter,
+		tr.OffTuplesPerSec, tr.OnTuplesPerSec, -100*tr.DeltaFraction)
 
 	if jsonPath != "" {
 		return mergeDistReport(jsonPath, &rep)
@@ -212,6 +250,199 @@ func distOnce(sched string, measure time.Duration, seed uint64) (distRun, error)
 		InterProcessFraction: w.InterNodeFraction(),
 		Migrations:           migrations,
 	}, nil
+}
+
+// distTraceSampling is the tracing phase's 1-in-N root sampling rate —
+// the default production rate the ≤3% overhead budget is stated against.
+const distTraceSampling = 1024
+
+// distTraceParams is the reliable self-fed Word Count the tracing phase
+// runs: acked roots are what close sampled tuple trees, so the corpus
+// must be reliable and deep enough to outlast both measure windows.
+func distTraceParams() workloads.SelfFedParams {
+	p := distParams()
+	p.Reliable = true
+	p.Ackers = 1
+	p.MaxPending = 256
+	p.Limit = 300000
+	return p
+}
+
+// distTraceThroughputOnce measures one fleet's steady-state throughput
+// under the deterministic T-Storm initial placement (no reschedule, so
+// runs with different sampling rates are placement-identical and the
+// pair isolates tracing's cost).
+func distTraceThroughputOnce(sampling int, measure time.Duration, seed uint64) (float64, error) {
+	p := distTraceParams()
+	eng, err := dist.NewEngine(dist.Config{
+		Nodes:         distWorkers,
+		Seed:          seed,
+		AckTimeout:    5 * time.Second,
+		TraceSampling: sampling,
+	})
+	if err != nil {
+		return 0, err
+	}
+	initial, err := distSchedule("tstorm", eng.Cluster(), p)
+	if err != nil {
+		return 0, err
+	}
+	if err := eng.Submit(workloads.SelfFedWorkload, p, initial); err != nil {
+		return 0, err
+	}
+	if err := eng.Start(); err != nil {
+		return 0, err
+	}
+	defer eng.Stop()
+
+	time.Sleep(time.Second) // steady state
+	t0 := eng.Totals()
+	start := time.Now()
+	time.Sleep(measure)
+	w := eng.Totals().Sub(t0)
+	return float64(w.Processed) / time.Since(start).Seconds(), nil
+}
+
+// distTraceScenario runs one traced fleet through the attribution
+// scenario — round-robin start, monitored warm-up, a measure window, one
+// forced T-Storm reschedule, a second measure window — and returns the
+// sampled trees drained around each window.
+func distTraceScenario(sampling int, measure time.Duration, seed uint64) (before, after []tracing.Tree, err error) {
+	p := distTraceParams()
+	eng, err := dist.NewEngine(dist.Config{
+		Nodes:         distWorkers,
+		Seed:          seed,
+		AckTimeout:    5 * time.Second,
+		TraceSampling: sampling,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	initial, err := distSchedule("default", eng.Cluster(), p)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := eng.Submit(workloads.SelfFedWorkload, p, initial); err != nil {
+		return nil, nil, err
+	}
+	if err := eng.Start(); err != nil {
+		return nil, nil, err
+	}
+	defer eng.Stop()
+
+	const monitorPeriod = 250 * time.Millisecond
+	db := loaddb.New(0.5)
+	eng.SetLoadSink(db)
+	eng.SetMonitorPeriod(monitorPeriod)
+	gen, err := live.StartGenerator(eng, db, live.GeneratorConfig{
+		Period:               time.Hour, // one forced reschedule below
+		CapacityFraction:     0.9,
+		ImprovementThreshold: 0.10,
+	}, core.NewTrafficAware(1.5))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer gen.Stop()
+	deadline := time.Now().Add(10 * time.Second)
+	for !db.HasData() && time.Now().Before(deadline) {
+		time.Sleep(monitorPeriod / 5)
+	}
+	time.Sleep(4 * monitorPeriod)
+
+	// drain lets in-flight spans reach the driver (worker heartbeat) and
+	// settle in the collector before the window's trees are taken.
+	drain := func() []tracing.Tree {
+		c := eng.TraceCollector()
+		if c == nil {
+			return nil
+		}
+		time.Sleep(time.Second)
+		return c.Drain()
+	}
+
+	time.Sleep(measure)
+	before = drain()
+
+	gen.Reschedule()
+	time.Sleep(time.Second) // regain steady state after the halt
+
+	time.Sleep(measure)
+	after = drain()
+	return before, after, nil
+}
+
+// treeP99Ms returns the p99 completion latency over the trees.
+func treeP99Ms(trees []tracing.Tree) float64 {
+	if len(trees) == 0 {
+		return 0
+	}
+	ms := make([]float64, len(trees))
+	for i, tr := range trees {
+		ms[i] = tr.CompletionMs
+	}
+	sort.Float64s(ms)
+	return ms[(len(ms)*99+99)/100-1]
+}
+
+// wireShare is the fraction of sampled critical-path time the trees spent
+// crossing process or node boundaries — the part of the latency a
+// traffic-aware reschedule can remove.
+func wireShare(trees []tracing.Tree) float64 {
+	s := tracing.ShareByClassOf(trees)
+	return s[tracing.BoundaryInterProcess] + s[tracing.BoundaryInterNode]
+}
+
+// median3 returns the median of three throughput reps — one slow outlier
+// (a GC pause, a noisy neighbour on the benchmark host) must not decide
+// the overhead verdict.
+func median3(v []float64) float64 {
+	sort.Float64s(v)
+	return v[len(v)/2]
+}
+
+// runDistTrace measures the tuple-tracing phase. The overhead pair runs
+// alternating off/on reps over the identical deterministic placement and
+// compares medians, so fleet-to-fleet throughput noise — which dwarfs the
+// sub-1% cost of a 1/1024 mask check — cancels instead of deciding the
+// verdict. The reschedule scenario then runs once with tracing on and
+// gives the wire-hop share of completion latency before and after the
+// T-Storm pass.
+func runDistTrace(measure time.Duration, seed uint64) (distTraceReport, error) {
+	if measure <= 0 {
+		measure = 3 * time.Second
+	}
+	var offs, ons []float64
+	for rep := 0; rep < 3; rep++ {
+		off, err := distTraceThroughputOnce(0, measure, seed)
+		if err != nil {
+			return distTraceReport{}, fmt.Errorf("tracing-off rep %d: %w", rep, err)
+		}
+		on, err := distTraceThroughputOnce(distTraceSampling, measure, seed)
+		if err != nil {
+			return distTraceReport{}, fmt.Errorf("tracing-on rep %d: %w", rep, err)
+		}
+		offs, ons = append(offs, off), append(ons, on)
+	}
+	off, on := median3(offs), median3(ons)
+	before, after, err := distTraceScenario(distTraceSampling, measure, seed)
+	if err != nil {
+		return distTraceReport{}, fmt.Errorf("tracing attribution scenario: %w", err)
+	}
+	rep := distTraceReport{
+		SamplingRate:    distTraceSampling,
+		OffTuplesPerSec: off,
+		OnTuplesPerSec:  on,
+		TreesBefore:     len(before),
+		TreesAfter:      len(after),
+		P99BeforeMs:     treeP99Ms(before),
+		P99AfterMs:      treeP99Ms(after),
+		WireShareBefore: wireShare(before),
+		WireShareAfter:  wireShare(after),
+	}
+	if off > 0 {
+		rep.DeltaFraction = (off - on) / off
+	}
+	return rep, nil
 }
 
 // runDistRecovery runs the reliable self-fed Word Count across worker

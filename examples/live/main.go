@@ -176,6 +176,17 @@ func main() {
 	gain := float64(after.Processed)/float64(before.Processed) - 1
 	fmt.Printf("  throughput change from co-location: %+.0f%%\n", 100*gain)
 
+	// The allocation-free emit path's recycling counters: batch-pool reuse
+	// (hits vs misses growing fresh batches) and XOR acks folded into an
+	// already-buffered control message instead of a new one.
+	tot := eng.Totals()
+	hitRate := 0.0
+	if n := tot.PoolHits + tot.PoolMisses; n > 0 {
+		hitRate = 100 * float64(tot.PoolHits) / float64(n)
+	}
+	fmt.Printf("  emit-path recycling: batch pool %d hits / %d misses (%.1f%% reuse), %d acks combined in flight\n",
+		tot.PoolHits, tot.PoolMisses, hitRate, tot.CtlCombined)
+
 	counts := sink.Counters("words")
 	type wc struct {
 		word string

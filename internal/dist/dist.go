@@ -15,6 +15,7 @@ import (
 	"tstorm/internal/engine"
 	"tstorm/internal/live"
 	"tstorm/internal/trace"
+	"tstorm/internal/tracing"
 )
 
 // Config holds the distributed driver's knobs. The cluster is always
@@ -62,6 +63,11 @@ type Config struct {
 	// Trace receives driver-side runtime events (worker lifecycle,
 	// publishes, applies). Nil disables tracing.
 	Trace *trace.Recorder
+
+	// TraceSampling samples 1-in-N tuple trees for end-to-end tracing (a
+	// power of two; 0 disables). Workers record spans and ship them with
+	// heartbeats; the driver's collector assembles the trees.
+	TraceSampling int
 }
 
 func (c *Config) fillDefaults() {
@@ -224,6 +230,10 @@ type Engine struct {
 	histMu  sync.Mutex
 	history []RestartRecord
 
+	// collector assembles worker-shipped spans into tuple trees when
+	// tracing is on (nil otherwise).
+	collector *tracing.Collector
+
 	sinkMu sync.Mutex
 	sink   live.LoadSink
 
@@ -258,7 +268,47 @@ func NewEngine(cfg Config) (*Engine, error) {
 		e.handles[slot] = &workerHandle{slot: slot}
 		e.order = append(e.order, slot)
 	}
+	if cfg.TraceSampling != 0 {
+		if err := e.SetTraceSampling(cfg.TraceSampling); err != nil {
+			return nil, err
+		}
+	}
 	return e, nil
+}
+
+// SetTraceSampling sets the 1-in-rate tuple-tree sampling rate (a power of
+// two; 0 disables). Must precede Start: the rate ships to workers in the
+// config broadcast.
+func (e *Engine) SetTraceSampling(rate int) error {
+	if e.started.Load() {
+		return fmt.Errorf("dist: SetTraceSampling after start")
+	}
+	if rate == 0 {
+		e.cfg.TraceSampling, e.collector = 0, nil
+		return nil
+	}
+	if _, err := tracing.Mask(rate); err != nil {
+		return err
+	}
+	e.cfg.TraceSampling = rate
+	if e.collector == nil {
+		e.collector = tracing.NewCollector(tracing.Config{})
+	}
+	return nil
+}
+
+// TraceSampling returns the sampling rate (0 = tracing off).
+func (e *Engine) TraceSampling() int { return e.cfg.TraceSampling }
+
+// TraceCollector returns the driver's tuple-tree collector — nil when
+// tracing is off.
+func (e *Engine) TraceCollector() *tracing.Collector { return e.collector }
+
+// ingestSpans feeds one worker's heartbeat span batch into the collector.
+func (e *Engine) ingestSpans(spans []tracing.Span) {
+	if e.collector != nil && len(spans) > 0 {
+		e.collector.Add(spans)
+	}
 }
 
 // Store exposes the coordination store assignments publish through (the
@@ -712,6 +762,8 @@ func addTotals(a, b live.Totals) live.Totals {
 		CtlCombined:      a.CtlCombined + b.CtlCombined,
 		PoolHits:         a.PoolHits + b.PoolHits,
 		PoolMisses:       a.PoolMisses + b.PoolMisses,
+		TraceSampled:     a.TraceSampled + b.TraceSampled,
+		TraceSpanDropped: a.TraceSpanDropped + b.TraceSpanDropped,
 	}
 }
 

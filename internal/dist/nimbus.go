@@ -111,6 +111,7 @@ func (s *session) readLoop() {
 			}
 		case msgHeartbeat:
 			s.h.storeStatus(m)
+			s.e.ingestSpans(m.Spans)
 		case msgWindow:
 			s.e.applyWindow(m)
 		case msgForget:
@@ -295,6 +296,7 @@ func (e *Engine) buildConfigMsg() *msg {
 			MaxHops:       e.cfg.MaxHops,
 			HeartbeatNs:   int64(e.cfg.HeartbeatPeriod),
 			MonitorNs:     int64(e.cfg.MonitorPeriod),
+			TraceSampling: e.cfg.TraceSampling,
 		},
 		Subs:  subs,
 		Peers: e.peerEntriesLocked(),

@@ -41,6 +41,7 @@ import (
 	"tstorm/internal/cluster"
 	"tstorm/internal/live"
 	"tstorm/internal/topology"
+	"tstorm/internal/tracing"
 )
 
 // Environment variables marking a process as a spawned worker and telling
@@ -108,6 +109,10 @@ type msg struct {
 	Loads   []loadEntry  `json:"loads,omitempty"`
 	Flows   []flowEntry  `json:"flows,omitempty"`
 	Forget  string       `json:"forget,omitempty"`
+	// Spans ships sampled tuple-tracing spans drained from the worker's
+	// executor rings with each heartbeat; the driver's collector assembles
+	// them into tuple trees (internal/tracing).
+	Spans []tracing.Span `json:"spans,omitempty"`
 }
 
 // engineSpec is the worker-engine configuration the driver ships in the
@@ -120,6 +125,7 @@ type engineSpec struct {
 	MaxHops       int    `json:"max_hops"`
 	HeartbeatNs   int64  `json:"heartbeat_ns"`
 	MonitorNs     int64  `json:"monitor_ns"`
+	TraceSampling int    `json:"trace_sampling,omitempty"`
 }
 
 // submission is one topology the worker must build and submit. Workload

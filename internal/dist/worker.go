@@ -215,6 +215,9 @@ func (w *worker) configure(m *msg) error {
 		WireCost:        -1,
 		LocalSlots:      []cluster.SlotID{w.slot},
 		Remote:          w.peers,
+		// LocalSlots is set, so the engine records spans but creates no
+		// collector: this worker exports them to the driver (heartbeatLoop).
+		TraceSampling: w.spec.TraceSampling,
 	}, cl)
 	if err != nil {
 		return err
@@ -291,7 +294,12 @@ func (w *worker) heartbeatLoop() {
 		case <-w.eng.Done():
 			return
 		case <-tk.C:
-			if err := w.ctrl.send(w.statusMsg(msgHeartbeat, 0)); err != nil {
+			hb := w.statusMsg(msgHeartbeat, 0)
+			// Drain span rings here and only here: heartbeatLoop is the span
+			// rings' single consumer (statusMsg itself must stay drain-free —
+			// the totals RPC runs it on the control goroutine).
+			hb.Spans = w.eng.DrainSpans()
+			if err := w.ctrl.send(hb); err != nil {
 				return
 			}
 		}
@@ -325,26 +333,36 @@ func (w *worker) handleData(c net.Conn) {
 			}
 			return
 		}
-		if cur := w.peers.gen.Load(); gen < cur {
-			w.staleFrames.Add(1)
-		}
-		if err := w.eng.Ingest(frame); err != nil {
-			var nl *live.NotLocalError
-			if errors.As(err, &nl) {
-				// Mid-migration race: we no longer (or never did) host the
-				// target. Chase the current owner.
-				if hops > 0 && w.peers.send(nl.Slot, frame, hops-1) {
-					w.forwarded.Add(1)
-				} else {
-					w.forwardDrops.Add(1)
-					w.logger.Printf("frame for %s undeliverable (hops exhausted)", nl.Slot)
-				}
-				continue
-			}
+		if err := w.handleFrame(gen, hops, frame); err != nil {
 			w.logger.Printf("malformed frame from %s: %v — closing connection", c.RemoteAddr(), err)
 			return
 		}
 	}
+}
+
+// handleFrame processes one decoded wire frame: stale-generation
+// accounting, ingest, and mid-migration forwarding. A non-nil error means
+// the frame was malformed and the connection should drop.
+func (w *worker) handleFrame(gen uint32, hops byte, frame []byte) error {
+	if cur := w.peers.gen.Load(); gen < cur {
+		w.staleFrames.Add(1)
+	}
+	if err := w.eng.Ingest(frame); err != nil {
+		var nl *live.NotLocalError
+		if errors.As(err, &nl) {
+			// Mid-migration race: we no longer (or never did) host the
+			// target. Chase the current owner.
+			if hops > 0 && w.peers.send(nl.Slot, frame, hops-1) {
+				w.forwarded.Add(1)
+			} else {
+				w.forwardDrops.Add(1)
+				w.logger.Printf("frame for %s undeliverable (hops exhausted)", nl.Slot)
+			}
+			return nil
+		}
+		return err
+	}
+	return nil
 }
 
 func (w *worker) shutdown() {

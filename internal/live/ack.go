@@ -428,6 +428,9 @@ func (le *liveExec) drainAckEvents() {
 			at = t0
 		}
 		eng.rootLat.Add(at.Sub(p.emitAt).Seconds() * 1e3)
+		if le.spans != nil && eng.sampledRoot(ev.root) {
+			le.recordAck(ev.root, at)
+		}
 		if comparableMsgID(p.msgID) {
 			delete(le.firstEmit, p.msgID)
 		}
@@ -503,6 +506,9 @@ func (le *liveExec) flushAnchored(em *spoutEmitter, die <-chan struct{}) bool {
 		le.wheel.add(re.root, timeout, now)
 		if len(le.ackers) > 0 {
 			le.addInit(re.root, re.initXor, le.dense, emitAt)
+		}
+		if le.spans != nil && eng.sampledRoot(re.root) {
+			le.recordRoot(re.root, emitAt)
 		}
 	}
 	return le.flushCtl(die)

@@ -79,6 +79,21 @@ func FuzzDecodeFrame(f *testing.F) {
 		{kind: ctlAck, root: 1, xor: 2},
 	}))
 	f.Add(encodeAckFrame(to, []ackEvent{{root: 99, late: true}}))
+	// Tracing extension seeds: a sampled batch (frameDataT + span fields),
+	// its truncation, and a flags byte with undefined bits set.
+	tracedFrame, _ := encodeDataFrame(to, []liveMsg{{
+		tup: tuple.Tuple{
+			Root: 0x400, Edge: 0xfeed, Stream: "default",
+			SrcComponent: "reader", SrcTask: 0, Size: 16,
+		},
+		enc:        enc,
+		from:       3,
+		parentSpan: 0x400,
+		sentAt:     1_700_000_000_000_000_500,
+	}})
+	f.Add(tracedFrame)
+	f.Add(tracedFrame[:len(tracedFrame)-9])
+	f.Add([]byte{frameDataT, 0, 0, 0, 0xff})
 	for _, seed := range [][]byte{dataFrame[:len(dataFrame)/2], {frameData}, {frameCtl, 0}, {0xff}} {
 		f.Add(seed)
 	}

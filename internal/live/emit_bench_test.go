@@ -96,3 +96,35 @@ func BenchmarkEmit(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkEmitTraced is BenchmarkEmit with tuple tracing enabled at the
+// default 1/1024 sampling rate and an UNSAMPLED root (42 & 1023 != 0):
+// the tracing branch is taken and rejected on every hop, which must cost
+// one mask check and zero allocations. ci.sh gates every BenchmarkEmit*
+// line at ≤1 alloc/op, so a regression that makes unsampled tuples pay
+// for the sampled path fails CI.
+func BenchmarkEmitTraced(b *testing.B) {
+	eng, split := benchEngine(b)
+	if err := eng.SetTraceSampling(1024); err != nil {
+		b.Fatal(err)
+	}
+	if eng.sampledRoot(42) {
+		b.Fatal("root 42 unexpectedly sampled at rate 1024")
+	}
+	words := []tuple.Values{
+		{"alpha", 1}, {"beta", 2}, {"gamma", 3}, {"delta", 4},
+	}
+	bornAt := time.Now()
+	em := boltEmitter{le: split, bornAt: bornAt, root: 42}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		em.Emit("", words[i%len(words)])
+		if (i+1)%64 == 0 {
+			for j := range em.deliveries {
+				eng.recycleBatch(em.deliveries[j].msgs)
+			}
+			em.deliveries = em.deliveries[:0]
+		}
+	}
+}

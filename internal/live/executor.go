@@ -9,6 +9,7 @@ import (
 	"tstorm/internal/engine"
 	"tstorm/internal/metrics"
 	"tstorm/internal/topology"
+	"tstorm/internal/tracing"
 	"tstorm/internal/tuple"
 )
 
@@ -50,6 +51,13 @@ type liveMsg struct {
 	// propagated downstream for end-to-end latency at terminal bolts.
 	bornAt time.Time
 	from   int // producer's dense index
+	// parentSpan and sentAt carry the tracing anchor chain for sampled
+	// roots only (tracing.go): the producer's own span identity (its input
+	// edge, or the root for spout emissions) and the hand-off instant.
+	// Zero — and never written — for unsampled tuples, so the zero-alloc
+	// hot path is untouched.
+	parentSpan uint64
+	sentAt     int64
 }
 
 // liveExec is one executor: a goroutine with (for bolts) a bounded input
@@ -141,6 +149,13 @@ type liveExec struct {
 	cpuNanos  atomic.Int64 // busy time since last monitor drain
 	processed atomic.Int64 // lifetime tuples processed
 	emitted   atomic.Int64 // lifetime emit calls
+
+	// spans is the executor's tracing ring (nil when sampling is off);
+	// curParent is the span identity the next emission inherits — the
+	// input tuple's edge for bolts, the fresh root for anchored spout
+	// emissions. Both touched only on the owning goroutine's sampled path.
+	spans     *tracing.Ring
+	curParent uint64
 
 	// procLat records per-tuple process time (decode + Execute,
 	// milliseconds) for bolts; atomic increments only, so the scraper can
@@ -444,8 +459,12 @@ func (le *liveExec) process(m liveMsg, em *boltEmitter) {
 	em.bornAt = m.bornAt
 	em.root = m.tup.Root
 	em.xorAcc = 0
+	le.curParent = uint64(m.tup.Edge)
 	le.bolt.Execute(m.tup, em)
 	busy := time.Since(t0)
+	if le.spans != nil && eng.sampledRoot(m.tup.Root) {
+		le.recordExecute(&m, t0, busy)
+	}
 	le.cpuNanos.Add(int64(busy))
 	le.procLat.Add(float64(busy) / 1e6)
 	le.processed.Add(1)
@@ -504,6 +523,7 @@ func (e *spoutEmitter) EmitWithID(stream string, vals tuple.Values, msgID any) {
 		return
 	}
 	root := e.le.newEdgeID()
+	e.le.curParent = uint64(root) // the root span parents the first hop
 	n, xorAcc := e.le.route(&e.deliveries, stream, vals, time.Now(), root)
 	if n < 0 {
 		return // undeclared stream

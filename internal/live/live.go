@@ -54,6 +54,7 @@ import (
 	"tstorm/internal/sim"
 	"tstorm/internal/topology"
 	"tstorm/internal/trace"
+	"tstorm/internal/tracing"
 	"tstorm/internal/tuple"
 )
 
@@ -102,6 +103,11 @@ type Config struct {
 	// monitor additionally reports sampling rounds and overload
 	// detections through it. Nil disables tracing.
 	Trace *trace.Recorder
+	// TraceSampling samples 1-in-rate anchored tuple trees for span-level
+	// tracing (tracing.go); must be a power of two, 0 disables. The
+	// check is one AND against the root ID, so unsampled tuples stay on
+	// the zero-alloc emit path.
+	TraceSampling int
 	// LocalSlots, when non-empty, restricts execution to executors placed
 	// on the named slots: everything else becomes a routing proxy whose
 	// transfers leave through Remote as encoded frames. This is how a
@@ -264,6 +270,15 @@ type Engine struct {
 	// the same root before reaching a channel (sender-side combining).
 	ctlCombined atomic.Int64
 
+	// Tuple tracing (tracing.go). traceRate/traceMask are set before Start
+	// and immutable after; collector assembles sampled trees in-process
+	// (nil for distributed workers, which export spans via DrainSpans);
+	// tracedRoots counts sampled root registrations, replays included.
+	traceRate   int
+	traceMask   uint64
+	collector   *tracing.Collector
+	tracedRoots atomic.Int64
+
 	// Batch pools for the zero-alloc emission path (pool.go): delivery
 	// batches, acker control batches, completion-event batches, and codec
 	// encode buffers.
@@ -309,6 +324,11 @@ func NewEngine(cfg Config, cl *cluster.Cluster) (*Engine, error) {
 	eng.ackTimeout.Store(int64(cfg.AckTimeout))
 	eng.maxPending.Store(int64(cfg.MaxPending))
 	eng.routes.Store(emptyRouteTable())
+	if cfg.TraceSampling != 0 {
+		if err := eng.SetTraceSampling(cfg.TraceSampling); err != nil {
+			return nil, err
+		}
+	}
 	return eng, nil
 }
 
@@ -499,6 +519,19 @@ func (eng *Engine) Start() error {
 	n := len(eng.denseRev)
 	eng.edges.Store(&edgeMatrix{n: n, counts: make([]edgeCounter, n*n)})
 	eng.epoch = time.Now()
+	if eng.traceRate != 0 {
+		// Every spout and bolt gets a ring — including remote proxies,
+		// which a later migration may promote to local execution.
+		for _, le := range eng.execs {
+			if le.kind != ackerExec {
+				le.spans = tracing.NewRing(spanRingCap)
+			}
+		}
+		if eng.collector != nil {
+			eng.wg.Add(1)
+			go eng.collectSpans()
+		}
+	}
 	for _, le := range eng.execs {
 		if le.state == stateRemote {
 			continue

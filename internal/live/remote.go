@@ -50,7 +50,19 @@ const (
 	frameData = 1 // data tuples for a bolt's input queue
 	frameCtl  = 2 // init/ack control messages for an acker
 	frameAck  = 3 // completion events for a spout's mailbox
+	// frameDataT is a data frame carrying the tuple-tracing extension: a
+	// flags byte after the header, then (for flagSpans) a parent-span ID
+	// and hand-off instant appended to every message. Version gating is by
+	// kind: a decoder predating tracing hits its unknown-frame-kind error
+	// and drops the connection instead of misparsing, and senders only use
+	// this kind for batches that actually contain a sampled tuple, so
+	// tracing-off fleets never emit it.
+	frameDataT = 4
 )
+
+// flagSpans marks a frameDataT whose messages carry span fields. Unknown
+// flag bits are rejected at decode, reserving them for future extensions.
+const flagSpans = 1
 
 // maxFrameItems caps the per-frame item count a decoder will believe
 // before the per-item length checks kick in, bounding the initial slice
@@ -173,10 +185,26 @@ func appendFrameHeader(buf []byte, kind byte, to topology.ExecutorID) []byte {
 // Messages whose payload holds by-reference extras cannot cross a process
 // boundary and are skipped; the second return value counts them so the
 // caller can account the drop. Messages still carrying in-memory values
-// (a local-hop batch stranded by a migration) are encoded here.
+// (a local-hop batch stranded by a migration) are encoded here. A batch
+// containing at least one sampled tuple (non-zero sentAt) leaves as a
+// frameDataT with span fields on every message; plain batches — all of
+// them when tracing is off — keep the PR 6 frameData format byte for
+// byte.
 func encodeDataFrame(to topology.ExecutorID, msgs []liveMsg) (frame []byte, skipped int64) {
+	traced := false
+	for i := range msgs {
+		if msgs[i].sentAt != 0 {
+			traced = true
+			break
+		}
+	}
 	buf := make([]byte, 0, 64+64*len(msgs))
-	buf = appendFrameHeader(buf, frameData, to)
+	if traced {
+		buf = appendFrameHeader(buf, frameDataT, to)
+		buf = append(buf, flagSpans)
+	} else {
+		buf = appendFrameHeader(buf, frameData, to)
+	}
 	countAt := len(buf)
 	n := 0
 	buf = append(buf, 0, 0, 0, 0) // fixed32 count patched below
@@ -202,6 +230,10 @@ func encodeDataFrame(to topology.ExecutorID, msgs []liveMsg) (frame []byte, skip
 		}
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(born))
 		buf = binary.AppendUvarint(buf, uint64(m.from))
+		if traced {
+			buf = binary.LittleEndian.AppendUint64(buf, m.parentSpan)
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(m.sentAt))
+		}
 		buf = binary.AppendUvarint(buf, uint64(len(enc)))
 		buf = append(buf, enc...)
 		n++
@@ -248,6 +280,47 @@ func encodeAckFrame(to topology.ExecutorID, evs []ackEvent) []byte {
 	return buf
 }
 
+// decodeDataMsgs parses the shared data-message body of frameData and
+// frameDataT into f.data. spans selects the frameDataT/flagSpans layout,
+// where each message carries its producer's span ID and hand-off instant
+// between the from field and the payload.
+func decodeDataMsgs(r *frameReader, f *wireFrame, spans bool) error {
+	if len(r.buf)-r.pos < 4 {
+		return fmt.Errorf("live: truncated data-frame count at %d", r.pos)
+	}
+	n := binary.LittleEndian.Uint32(r.buf[r.pos:])
+	r.pos += 4
+	// Every data message occupies ≥ 21 bytes (two fixed u64s, a fixed
+	// born instant minus overlap with varints); use a conservative floor.
+	if n > maxFrameItems || n > uint32((len(r.buf)-r.pos)/21+1) {
+		return fmt.Errorf("live: data frame claims %d messages in %d bytes", n, len(r.buf)-r.pos)
+	}
+	f.data = make([]liveMsg, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var m liveMsg
+		m.tup.Root = tuple.ID(r.uint64())
+		m.tup.Edge = tuple.ID(r.uint64())
+		m.tup.Stream = r.string()
+		m.tup.SrcComponent = r.string()
+		m.tup.SrcTask = int(r.uvarint())
+		m.tup.Size = int(r.uvarint())
+		if born := int64(r.uint64()); born != 0 {
+			m.bornAt = time.Unix(0, born)
+		}
+		m.from = int(r.uvarint())
+		if spans {
+			m.parentSpan = r.uint64()
+			m.sentAt = int64(r.uint64())
+		}
+		m.enc = r.bytes()
+		if r.err != nil {
+			return r.err
+		}
+		f.data = append(f.data, m)
+	}
+	return nil
+}
+
 // decodeFrame parses one inter-process frame from untrusted bytes.
 func decodeFrame(buf []byte) (*wireFrame, error) {
 	r := &frameReader{buf: buf}
@@ -260,34 +333,19 @@ func decodeFrame(buf []byte) (*wireFrame, error) {
 	}
 	switch f.kind {
 	case frameData:
-		if len(r.buf)-r.pos < 4 {
-			return nil, fmt.Errorf("live: truncated data-frame count at %d", r.pos)
+		if err := decodeDataMsgs(r, f, false); err != nil {
+			return nil, err
 		}
-		n := binary.LittleEndian.Uint32(r.buf[r.pos:])
-		r.pos += 4
-		// Every data message occupies ≥ 21 bytes (two fixed u64s, a fixed
-		// born instant minus overlap with varints); use a conservative floor.
-		if n > maxFrameItems || n > uint32((len(r.buf)-r.pos)/21+1) {
-			return nil, fmt.Errorf("live: data frame claims %d messages in %d bytes", n, len(r.buf)-r.pos)
+	case frameDataT:
+		flags := r.byte()
+		if r.err != nil {
+			return nil, r.err
 		}
-		f.data = make([]liveMsg, 0, n)
-		for i := uint32(0); i < n; i++ {
-			var m liveMsg
-			m.tup.Root = tuple.ID(r.uint64())
-			m.tup.Edge = tuple.ID(r.uint64())
-			m.tup.Stream = r.string()
-			m.tup.SrcComponent = r.string()
-			m.tup.SrcTask = int(r.uvarint())
-			m.tup.Size = int(r.uvarint())
-			if born := int64(r.uint64()); born != 0 {
-				m.bornAt = time.Unix(0, born)
-			}
-			m.from = int(r.uvarint())
-			m.enc = r.bytes()
-			if r.err != nil {
-				return nil, r.err
-			}
-			f.data = append(f.data, m)
+		if flags&^byte(flagSpans) != 0 {
+			return nil, fmt.Errorf("live: unknown data-frame flags %#x", flags)
+		}
+		if err := decodeDataMsgs(r, f, flags&flagSpans != 0); err != nil {
+			return nil, err
 		}
 	case frameCtl:
 		n := r.count(26)
@@ -356,7 +414,7 @@ func (eng *Engine) Ingest(buf []byte) error {
 		return &NotLocalError{Slot: rt.slotOf[le.dense]}
 	}
 	switch f.kind {
-	case frameData:
+	case frameData, frameDataT:
 		if le.in == nil {
 			return fmt.Errorf("live: data frame for queueless executor %v", f.to)
 		}

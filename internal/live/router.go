@@ -167,6 +167,13 @@ func (le *liveExec) appendDelivery(out *[]delivery, rt *routeTable, tgt *liveExe
 		bornAt: bornAt,
 		from:   le.dense,
 	}
+	if le.eng.sampledRoot(root) {
+		// Sampled tuple: thread the producer's span identity and the
+		// hand-off instant through the anchor chain (tracing.go). The
+		// unsampled path pays one predictable branch and nothing else.
+		msg.parentSpan = le.curParent
+		msg.sentAt = time.Now().UnixNano()
+	}
 	var hop hopKind
 	switch {
 	case srcSlot == dstSlot:

@@ -51,6 +51,10 @@ type Totals struct {
 	// hits served recycled memory, misses had to allocate.
 	PoolHits   int64
 	PoolMisses int64
+	// TraceSampled counts sampled root registrations (replays included);
+	// TraceSpanDropped counts spans lost to full executor rings.
+	TraceSampled     int64
+	TraceSpanDropped int64
 }
 
 // Totals returns the current counter snapshot.
@@ -79,6 +83,8 @@ func (eng *Engine) Totals() Totals {
 		CtlCombined:      eng.ctlCombined.Load(),
 		PoolHits:         poolHits,
 		PoolMisses:       poolMisses,
+		TraceSampled:     eng.tracedRoots.Load(),
+		TraceSpanDropped: eng.traceSpanDropped(),
 	}
 }
 
@@ -103,6 +109,8 @@ func (t Totals) Sub(o Totals) Totals {
 		CtlCombined:      t.CtlCombined - o.CtlCombined,
 		PoolHits:         t.PoolHits - o.PoolHits,
 		PoolMisses:       t.PoolMisses - o.PoolMisses,
+		TraceSampled:     t.TraceSampled - o.TraceSampled,
+		TraceSpanDropped: t.TraceSpanDropped - o.TraceSpanDropped,
 	}
 }
 

@@ -5,8 +5,12 @@
 // JSON), /debug/trace (recent wall-clock runtime events from the ring
 // buffer, as JSON or a plain-text timeline), /debug/scheduler (the
 // decision-report ring explaining every Algorithm 1 placement, as JSON or
-// a text timeline), and /debug/traffic (the current and historical
-// traffic-matrix snapshots the scheduler decided on).
+// a text timeline), /debug/traffic (the current and historical
+// traffic-matrix snapshots the scheduler decided on), and /debug/tuples
+// (sampled end-to-end tuple trees with critical-path latency attribution,
+// as JSON or a text flame timeline). All endpoints are read-only: any
+// method besides GET/HEAD is answered with 405. Config.Pprof additionally
+// mounts the net/http/pprof profiling handlers under /debug/pprof/.
 //
 // Everything the handlers read comes from lock-free snapshots — the
 // engine's copy-on-write route table, per-executor atomics, and the
@@ -20,6 +24,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 
@@ -28,6 +33,7 @@ import (
 	"tstorm/internal/live"
 	"tstorm/internal/loaddb"
 	"tstorm/internal/trace"
+	"tstorm/internal/tracing"
 )
 
 // WorkerStatus is one worker process's liveness row, as reported by a
@@ -77,6 +83,17 @@ type Config struct {
 	// DB, when non-nil, contributes the live traffic matrix to
 	// /debug/traffic.
 	DB *loaddb.DB
+	// Tuples, when non-nil, backs /debug/tuples and the tstorm_trace_*
+	// tuple-tracing families — the collector assembling sampled per-tuple
+	// spans into trees (the engine's TraceCollector, or the distributed
+	// driver's). Absent, the tracing families are omitted entirely so a
+	// tracing-free scrape stays byte-identical to earlier releases.
+	Tuples *tracing.Collector
+	// Pprof registers the net/http/pprof profiling handlers under
+	// /debug/pprof/, enabling live CPU/heap/goroutine profiling of a
+	// running stack. Off by default: profiling endpoints cost real CPU
+	// when hit and should be opted into.
+	Pprof bool
 }
 
 // Server serves the telemetry endpoints.
@@ -96,13 +113,37 @@ func NewServer(cfg Config) (*Server, error) {
 		cfg.TraceLimit = 256
 	}
 	s := &Server{cfg: cfg, mux: http.NewServeMux()}
-	s.mux.HandleFunc("/metrics", s.handleMetrics)
-	s.mux.HandleFunc("/debug/placement", s.handlePlacement)
-	s.mux.HandleFunc("/debug/trace", s.handleTrace)
-	s.mux.HandleFunc("/debug/scheduler", s.handleScheduler)
-	s.mux.HandleFunc("/debug/traffic", s.handleTraffic)
-	s.mux.HandleFunc("/debug/workers", s.handleWorkers)
+	s.mux.HandleFunc("/metrics", readOnly(s.handleMetrics))
+	s.mux.HandleFunc("/debug/placement", readOnly(s.handlePlacement))
+	s.mux.HandleFunc("/debug/trace", readOnly(s.handleTrace))
+	s.mux.HandleFunc("/debug/scheduler", readOnly(s.handleScheduler))
+	s.mux.HandleFunc("/debug/traffic", readOnly(s.handleTraffic))
+	s.mux.HandleFunc("/debug/workers", readOnly(s.handleWorkers))
+	s.mux.HandleFunc("/debug/tuples", readOnly(s.handleTuples))
+	if cfg.Pprof {
+		// The stock pprof handlers, on the usual paths. Not wrapped in
+		// readOnly: /debug/pprof/symbol legitimately accepts POST.
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s, nil
+}
+
+// readOnly rejects every method except GET and HEAD with 405: all
+// telemetry endpoints are pure reads, and answering a POST with data would
+// mask a misconfigured client.
+func readOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		h(w, r)
+	}
 }
 
 // totals reads the counter snapshot from whichever source is configured.
@@ -303,6 +344,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		e.family("tstorm_trace_dropped_total", "Trace events evicted from the ring buffer.", "counter")
 		e.sample("tstorm_trace_dropped_total", nil, float64(rec.Dropped()))
 	}
+
+	s.traceFamilies(&e, t)
 
 	if h := s.cfg.History; h != nil {
 		e.family("tstorm_scheduler_rounds_total", "Completed scheduling decision rounds.", "counter")

@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+
+	"tstorm/internal/live"
+	"tstorm/internal/tracing"
+)
+
+// /debug/tuples: the sampled tuple-tracing view. The collector assembles
+// per-tuple-tree spans (internal/tracing) into completed trees with a
+// critical-path decomposition; this endpoint exposes the newest trees as
+// JSON, or as a plain-text flame timeline with ?format=text, and the
+// tstorm_trace_* families on /metrics aggregate the same state.
+
+// defaultTupleLimit caps /debug/tuples trees per request.
+const defaultTupleLimit = 32
+
+// tuplesDoc is the /debug/tuples response body.
+type tuplesDoc struct {
+	// SampledRoots and SpanDropped are the engine counters: roots entering
+	// the sampled subset, and spans lost to full executor rings.
+	SampledRoots int64 `json:"sampled_roots"`
+	SpanDropped  int64 `json:"span_dropped"`
+	// Completed/Evicted/OrphanSpans/Pending are collector lifetime stats.
+	Completed   int64 `json:"completed"`
+	Evicted     int64 `json:"evicted"`
+	OrphanSpans int64 `json:"orphan_spans"`
+	Pending     int   `json:"pending"`
+	// ShareByClass is the fraction of sampled critical-path time spent in
+	// each boundary class (plus "execute" and "ack"), over retained trees.
+	ShareByClass map[string]float64 `json:"share_by_class,omitempty"`
+	// Trees are the newest completed tuple trees, newest first.
+	Trees []tracing.Tree `json:"trees"`
+}
+
+// handleTuples serves the sampled tuple trees (404 when tracing is off).
+func (s *Server) handleTuples(w http.ResponseWriter, r *http.Request) {
+	c := s.cfg.Tuples
+	if c == nil {
+		http.Error(w, "tuple tracing not enabled", http.StatusNotFound)
+		return
+	}
+	limit, ok := requestLimit(w, r, defaultTupleLimit)
+	if !ok {
+		return
+	}
+	trees := c.Trees(limit)
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, tr := range trees {
+			writeTupleTimeline(w, &tr)
+		}
+		return
+	}
+	t := s.totals()
+	st := c.Stats()
+	doc := tuplesDoc{
+		SampledRoots: t.TraceSampled,
+		SpanDropped:  t.TraceSpanDropped,
+		Completed:    st.Completed,
+		Evicted:      st.Evicted,
+		OrphanSpans:  st.OrphanSpans,
+		Pending:      st.Pending,
+		ShareByClass: c.ShareByClass(),
+		Trees:        trees,
+	}
+	if doc.Trees == nil {
+		doc.Trees = []tracing.Tree{}
+	}
+	writeJSON(w, doc)
+}
+
+// writeTupleTimeline renders one tree as a flame timeline: the root emit,
+// then each critical-path hop's wait (attributed to its boundary class)
+// and execute time, then the final ack wait — indentation deepens along
+// the path so the chain reads like a flame graph turned sideways.
+func writeTupleTimeline(w http.ResponseWriter, tr *tracing.Tree) {
+	fmt.Fprintf(w, "tree %016x %s completion %.3fms spans %d\n",
+		tr.Root, tr.Topology, tr.CompletionMs, len(tr.Spans))
+	indent := "  "
+	for _, sp := range tr.Spans {
+		if sp.Kind == tracing.KindRoot {
+			fmt.Fprintf(w, "%s%s/%d emit\n", indent, sp.Component, sp.Task)
+			break
+		}
+	}
+	for _, step := range tr.Path {
+		indent += "  "
+		fmt.Fprintf(w, "%s+%.3fms [%s] %s/%d exec %.3fms\n",
+			indent, step.WaitMs, step.Boundary, step.Component, step.Task, step.ExecMs)
+	}
+	if ack, ok := tr.Shares[tracing.ShareAck]; ok {
+		fmt.Fprintf(w, "%s  +%.3fms ack\n", indent, ack)
+	}
+}
+
+// traceFamilies appends the tuple-tracing metric families. Gated on the
+// collector's presence so scrapes of a tracing-free stack stay
+// byte-identical to earlier releases.
+func (s *Server) traceFamilies(e *expo, t live.Totals) {
+	c := s.cfg.Tuples
+	if c == nil {
+		return
+	}
+	e.family("tstorm_trace_sampled_roots_total", "Spout roots sampled for tuple tracing (replays included).", "counter")
+	e.sample("tstorm_trace_sampled_roots_total", nil, float64(t.TraceSampled))
+	e.family("tstorm_trace_span_dropped_total", "Sampled spans lost to full executor rings.", "counter")
+	e.sample("tstorm_trace_span_dropped_total", nil, float64(t.TraceSpanDropped))
+
+	st := c.Stats()
+	e.family("tstorm_trace_trees_completed_total", "Sampled tuple trees fully assembled.", "counter")
+	e.sample("tstorm_trace_trees_completed_total", nil, float64(st.Completed))
+	e.family("tstorm_trace_trees_evicted_total", "Incomplete sampled trees evicted after the assembly TTL.", "counter")
+	e.sample("tstorm_trace_trees_evicted_total", nil, float64(st.Evicted))
+	e.family("tstorm_trace_orphan_spans_total", "Spans discarded with their evicted trees.", "counter")
+	e.sample("tstorm_trace_orphan_spans_total", nil, float64(st.OrphanSpans))
+	e.family("tstorm_trace_trees_pending", "Sampled trees currently awaiting spans.", "gauge")
+	e.sample("tstorm_trace_trees_pending", nil, float64(st.Pending))
+
+	shares := c.ShareByClass()
+	classes := make([]string, 0, len(shares))
+	for class := range shares {
+		classes = append(classes, class)
+	}
+	sort.Strings(classes)
+	e.family("tstorm_trace_critical_path_share", "Fraction of sampled critical-path time per boundary class (plus execute and ack), over retained trees.", "gauge")
+	for _, class := range classes {
+		e.sample("tstorm_trace_critical_path_share", []label{{"class", class}}, shares[class])
+	}
+}

@@ -1,0 +1,81 @@
+package tracing
+
+import "sync/atomic"
+
+// Ring is a bounded lock-free span ring (Vyukov-style bounded queue):
+// producers claim slots with one CAS, the single consumer drains with
+// plain atomic loads/stores, and a full ring drops the span and counts it
+// rather than blocking — tracing must never backpressure the data path.
+// Producers are normally one executor goroutine, but the CAS claim keeps
+// the ring correct across incarnation boundaries (a crashed executor's
+// goroutine winding down while its successor starts).
+type Ring struct {
+	mask    uint64
+	slots   []ringSlot
+	head    atomic.Uint64 // next position producers claim
+	tail    uint64        // next position the consumer reads (single consumer)
+	dropped atomic.Int64
+}
+
+type ringSlot struct {
+	seq  atomic.Uint64
+	span Span
+}
+
+// NewRing returns a ring holding up to capacity spans (rounded up to a
+// power of two, minimum 8).
+func NewRing(capacity int) *Ring {
+	n := 8
+	for n < capacity {
+		n <<= 1
+	}
+	r := &Ring{mask: uint64(n - 1), slots: make([]ringSlot, n)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// Push records one span; a full ring drops it and bumps the dropped
+// counter. Safe for concurrent producers, never blocks.
+func (r *Ring) Push(sp Span) bool {
+	for {
+		pos := r.head.Load()
+		s := &r.slots[pos&r.mask]
+		seq := s.seq.Load()
+		switch d := int64(seq) - int64(pos); {
+		case d == 0:
+			if r.head.CompareAndSwap(pos, pos+1) {
+				s.span = sp
+				s.seq.Store(pos + 1)
+				return true
+			}
+		case d < 0:
+			// The slot still holds an unconsumed span: ring full.
+			r.dropped.Add(1)
+			return false
+		default:
+			// Another producer claimed pos first; reload and retry.
+		}
+	}
+}
+
+// Drain appends every currently readable span to out and marks the slots
+// free. Single-consumer: only one goroutine may call Drain.
+func (r *Ring) Drain(out []Span) []Span {
+	for {
+		s := &r.slots[r.tail&r.mask]
+		if s.seq.Load() != r.tail+1 {
+			// Empty, or a producer claimed the slot but has not published
+			// yet — stop rather than spin; the next drain picks it up.
+			return out
+		}
+		out = append(out, s.span)
+		s.span = Span{} // no stale payload pinned in the ring
+		s.seq.Store(r.tail + r.mask + 1)
+		r.tail++
+	}
+}
+
+// Dropped returns how many spans were lost to a full ring.
+func (r *Ring) Dropped() int64 { return r.dropped.Load() }

@@ -1,0 +1,106 @@
+// Package tracing is the sampled per-tuple-tree distributed tracing
+// layer: a spout root is sampled at emit time by one AND against a
+// power-of-two mask on the existing 64-bit root ID, sampled tuples carry
+// their producer's span identity through the anchor chain (and across the
+// TCP frame codec in the distributed backend), and every executor that
+// touches a sampled tuple records a span into a per-executor lock-free
+// ring. A Collector merges the rings (or, distributed, the workers'
+// heartbeat-shipped span batches) into tuple trees, computes each tree's
+// critical path, and decomposes its completion latency into
+// queue-wait/wire shares by boundary class plus execute and ack-wait —
+// the evidence that says *why* a tuple tree took as long as it did, not
+// just that it did.
+//
+// Span identity needs no extra ID generation: a span's Self is the edge
+// ID the ack protocol already stamps on every anchored transfer (the root
+// ID itself for the spout's root span), and its Parent is the producer's
+// own input edge, so trees link exactly the way XOR acking already
+// threads them.
+package tracing
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Kind distinguishes the three span shapes of one tuple tree.
+type Kind uint8
+
+const (
+	// KindRoot is the spout-side span: the root's (first-)emit instant.
+	KindRoot Kind = iota + 1
+	// KindExecute is one bolt's handling of one sampled tuple: producer
+	// hand-off, execute start, execute end.
+	KindExecute
+	// KindAck is the spout-side completion span: the instant the acker
+	// observed the tree complete.
+	KindAck
+)
+
+// Boundary-class labels for the inbound hop of an execute span. The live
+// in-process engine distinguishes same-slot ("local"), cross-slot
+// same-node ("inter-slot") and cross-node ("inter-node") hops; in the
+// distributed backend a cross-slot hop crosses a real worker process and
+// is classified "inter-process" instead.
+const (
+	BoundaryLocal        = "local"
+	BoundaryInterSlot    = "inter-slot"
+	BoundaryInterProcess = "inter-process"
+	BoundaryInterNode    = "inter-node"
+)
+
+// ShareExecute and ShareAck are the two non-boundary buckets of a tree's
+// critical-path decomposition.
+const (
+	ShareExecute = "execute"
+	ShareAck     = "ack"
+)
+
+// Span is one executor's record of touching one sampled tuple. All
+// instants are wall-clock UnixNano, so spans recorded in different worker
+// processes on one host compare directly. Unused fields are zero for the
+// kinds that do not carry them.
+type Span struct {
+	Root   uint64 `json:"root"`
+	Self   uint64 `json:"self"`
+	Parent uint64 `json:"parent,omitempty"`
+	Kind   Kind   `json:"kind"`
+
+	Topology  string `json:"topology"`
+	Component string `json:"component,omitempty"`
+	Task      int    `json:"task"`
+
+	// Boundary classifies the hop the tuple arrived over (execute spans
+	// only): local, inter-slot, inter-process or inter-node.
+	Boundary string `json:"boundary,omitempty"`
+
+	// EmitAt is the root's first-emit instant (root spans; replays inherit
+	// it, matching the engine's completion-latency metric).
+	EmitAt int64 `json:"emit_at,omitempty"`
+	// SentAt is the producer's hand-off instant (execute spans): the gap
+	// to StartAt is queue wait plus wire time.
+	SentAt int64 `json:"sent_at,omitempty"`
+	// StartAt/EndAt bracket the bolt's decode+Execute (execute spans).
+	StartAt int64 `json:"start_at,omitempty"`
+	EndAt   int64 `json:"end_at,omitempty"`
+	// AckAt is the instant the acker observed the tree complete (ack
+	// spans).
+	AckAt int64 `json:"ack_at,omitempty"`
+}
+
+// Mask converts a 1-in-rate sampling rate to the AND-mask the emit path
+// applies to root IDs. The rate must be a power of two so the check stays
+// a single AND: a root is sampled iff id&mask == 0, which selects exactly
+// 1/rate of the uniformly random root IDs.
+func Mask(rate int) (uint64, error) {
+	if rate < 1 || bits.OnesCount64(uint64(rate)) != 1 {
+		return 0, fmt.Errorf("tracing: sampling rate %d is not a power of two ≥ 1", rate)
+	}
+	return uint64(rate) - 1, nil
+}
+
+// Sampled reports whether a root ID is selected under the mask. The zero
+// ID (unanchored emissions) is never sampled.
+func Sampled(id, mask uint64) bool {
+	return id != 0 && id&mask == 0
+}

@@ -318,6 +318,8 @@ type wireConfig struct {
 	ackTimeout      time.Duration // live only
 	maxPending      int           // live only; -1 = unset
 	decisionHistory int           // reports retained; 0 = disabled
+	traceSampling   int           // wall-clock backends; 0 = disabled
+	pprof           bool          // mount /debug/pprof on StartTelemetry
 	err             error         // first invalid option
 }
 
@@ -383,6 +385,34 @@ func WithDecisionHistory(n int) Option {
 	}
 }
 
+// WithTraceSampling enables sampled end-to-end tuple tracing: one in rate
+// spout roots (rate must be a power of two; 1 samples everything) carries
+// its tuple tree's spans to a collector that assembles them with a
+// critical-path latency decomposition by boundary class (local,
+// inter-slot, inter-process, inter-node). StartTelemetry then serves the
+// assembled trees on /debug/tuples and exports the tstorm_trace_*
+// families. Unsampled tuples stay on the allocation-free emit path.
+// Wall-clock backends only; Wire rejects it on the simulated Runtime,
+// which has no wall clock to attribute latency against.
+func WithTraceSampling(rate int) Option {
+	return func(c *wireConfig) {
+		if rate <= 0 {
+			c.optErr(fmt.Errorf("tstorm: WithTraceSampling(%d): rate must be a positive power of two", rate))
+			return
+		}
+		c.traceSampling = rate
+	}
+}
+
+// WithPprof mounts Go's net/http/pprof profiling handlers under
+// /debug/pprof/ on the server StartTelemetry returns. Off by default:
+// profile endpoints can pause the process (CPU profile, blocking trace),
+// so they stay opt-in while the rest of the telemetry surface is
+// read-only.
+func WithPprof() Option {
+	return func(c *wireConfig) { c.pprof = true }
+}
+
 // WithAckTimeout sets the live engine's spout ack timeout — how long an
 // anchored root may stay un-acked before its spout fails it for replay.
 // Live backend only; Wire rejects it on the simulated Runtime, whose
@@ -445,6 +475,9 @@ type Stack struct {
 	// (nil otherwise). Both backends feed it.
 	Decisions *DecisionHistory
 
+	// pprof records WithPprof for StartTelemetry.
+	pprof bool
+
 	stopOnce sync.Once
 }
 
@@ -481,6 +514,9 @@ func Wire(backend Backend, opts ...Option) (*Stack, error) {
 		if cfg.ackTimeout != 0 || cfg.maxPending >= 0 {
 			return nil, fmt.Errorf("tstorm: WithAckTimeout/WithMaxPending apply to the live backend only (the simulated Runtime reads Config.MessageTimeout and App.MaxPending)")
 		}
+		if cfg.traceSampling != 0 {
+			return nil, fmt.Errorf("tstorm: WithTraceSampling applies to the wall-clock backends only (the simulated Runtime has no wall clock to attribute latency against)")
+		}
 		fleet := monitor.Start(be, db, cfg.monitorPeriod)
 		gcfg := core.DefaultGeneratorConfig()
 		gcfg.GenerationPeriod = cfg.generatePeriod
@@ -495,7 +531,7 @@ func Wire(backend Backend, opts ...Option) (*Stack, error) {
 			return nil, err
 		}
 		cs := core.StartCustomScheduler(be, core.DefaultFetchPeriod)
-		return &Stack{DB: db, Monitors: fleet, Generator: gen, Scheduler: cs, Decisions: hist}, nil
+		return &Stack{DB: db, Monitors: fleet, Generator: gen, Scheduler: cs, Decisions: hist, pprof: cfg.pprof}, nil
 
 	case *LiveEngine:
 		if cfg.ackTimeout > 0 {
@@ -503,6 +539,14 @@ func Wire(backend Backend, opts ...Option) (*Stack, error) {
 		}
 		if cfg.maxPending >= 0 {
 			be.SetMaxPending(cfg.maxPending)
+		}
+		if cfg.traceSampling != 0 && be.TraceSampling() != cfg.traceSampling {
+			// Must land before Start (the mask is read lock-free on the emit
+			// path); an already-started engine takes LiveConfig.TraceSampling
+			// at construction instead.
+			if err := be.SetTraceSampling(cfg.traceSampling); err != nil {
+				return nil, err
+			}
 		}
 		mon := live.StartMonitor(be, db, cfg.monitorPeriod)
 		lcfg := live.DefaultGeneratorConfig()
@@ -518,7 +562,7 @@ func Wire(backend Backend, opts ...Option) (*Stack, error) {
 			return nil, err
 		}
 		sup := live.StartSupervisor(be, 0)
-		return &Stack{DB: db, Engine: be, Monitor: mon, LiveGenerator: gen, Supervisor: sup, Decisions: hist}, nil
+		return &Stack{DB: db, Engine: be, Monitor: mon, LiveGenerator: gen, Supervisor: sup, Decisions: hist, pprof: cfg.pprof}, nil
 
 	case *DistEngine:
 		if cfg.ackTimeout != 0 || cfg.maxPending >= 0 {
@@ -528,6 +572,11 @@ func Wire(backend Backend, opts ...Option) (*Stack, error) {
 		// ships windows over the control plane into this load DB.
 		be.SetLoadSink(db)
 		be.SetMonitorPeriod(cfg.monitorPeriod)
+		if cfg.traceSampling != 0 && be.TraceSampling() != cfg.traceSampling {
+			if err := be.SetTraceSampling(cfg.traceSampling); err != nil {
+				return nil, err
+			}
+		}
 		lcfg := live.DefaultGeneratorConfig()
 		lcfg.Period = cfg.generatePeriod
 		var hist *decision.History
@@ -539,7 +588,7 @@ func Wire(backend Backend, opts ...Option) (*Stack, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Stack{DB: db, Dist: be, LiveGenerator: gen, Decisions: hist}, nil
+		return &Stack{DB: db, Dist: be, LiveGenerator: gen, Decisions: hist, pprof: cfg.pprof}, nil
 
 	default:
 		return nil, fmt.Errorf("tstorm: unsupported backend %T (want *tstorm.Runtime or *tstorm.LiveEngine)", backend)
@@ -548,8 +597,9 @@ func Wire(backend Backend, opts ...Option) (*Stack, error) {
 
 // StartTelemetry serves the stack's observability endpoints — Prometheus
 // text-format /metrics, /debug/placement, /debug/trace (when the engine
-// was built with LiveConfig.Trace), and /debug/scheduler + /debug/traffic
-// (when wired WithDecisionHistory) — on addr (e.g. ":9090", or
+// was built with LiveConfig.Trace), /debug/scheduler + /debug/traffic
+// (when wired WithDecisionHistory), /debug/tuples (when wired
+// WithTraceSampling), and /debug/pprof/ (when wired WithPprof) — on addr (e.g. ":9090", or
 // "127.0.0.1:0" for an ephemeral port; read the bound address back with
 // Addr). Close the returned server when done. On the distributed backend
 // the counters are fleet aggregates and /debug/workers lists the worker
@@ -565,6 +615,8 @@ func (s *Stack) StartTelemetry(addr string) (*TelemetryServer, error) {
 			Trace:   s.Engine.Trace(),
 			History: s.Decisions,
 			DB:      s.DB,
+			Tuples:  s.Engine.TraceCollector(),
+			Pprof:   s.pprof,
 		}
 	case s.Distributed():
 		be := s.Dist
@@ -585,6 +637,8 @@ func (s *Stack) StartTelemetry(addr string) (*TelemetryServer, error) {
 			Trace:   be.Trace(),
 			History: s.Decisions,
 			DB:      s.DB,
+			Tuples:  be.TraceCollector(),
+			Pprof:   s.pprof,
 		}
 	default:
 		return nil, fmt.Errorf("tstorm: StartTelemetry requires the live or distributed backend")
