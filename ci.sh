@@ -26,6 +26,12 @@
 # The codec fuzz smoke throws 30s of generated hostile bytes at the wire
 # decoders (workers decode frames from the network, so malformed input
 # must error, never panic).
+# The golden-assignment tests pin every scheduling algorithm's output
+# byte-for-byte, and the hot-swap test swaps contenders by name on a
+# running engine; both run explicitly so scheduler-API changes cannot
+# silently alter placements. The arena smoke then runs every registered
+# algorithm over the live workload — a contender that panics, drops an
+# executor, or shares a slot across topologies exits non-zero here.
 # The experiment package replays full paper figures, which is slow under
 # the race detector — hence the raised per-package timeout.
 # The shuffled pass reorders test execution within every package, catching
@@ -47,5 +53,8 @@ go test -count=1 -run '^$' -bench BenchmarkEmit -benchmem ./internal/live |
 	           exit bad }'
 go test -count=1 -fuzz 'FuzzDecodeValues' -fuzztime 15s -run '^$' ./internal/live
 go test -count=1 -fuzz 'FuzzDecodeFrame' -fuzztime 15s -run '^$' ./internal/live
+go test -race -count=1 -run 'TestGoldenAssignments' ./internal/scheduler
+go test -race -count=1 -run 'TestHotSwapMidRunReschedulesCleanly' ./internal/live
+go run ./cmd/tstorm-bench -arena -duration 250ms -json /tmp/tstorm_arena_smoke.json
 go test -shuffle=on -count=1 ./...
 go test -race -timeout 30m ./...

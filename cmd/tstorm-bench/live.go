@@ -135,6 +135,9 @@ type liveReport struct {
 	// Distributed is the multi-process (loopback TCP) phase, written by
 	// -backend dist into the same document.
 	Distributed *distReport `json:"distributed,omitempty"`
+	// Arena is the every-registered-algorithm ranking, written by -arena
+	// into the same document.
+	Arena *arenaReport `json:"arena,omitempty"`
 	// LockContentionNote records how the emission path synchronizes, with
 	// the pre-snapshot baseline for comparison.
 	LockContentionNote string `json:"lock_contention_note"`

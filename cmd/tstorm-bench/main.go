@@ -6,6 +6,7 @@
 //	tstorm-bench [-fig 5] [-duration 1000s] [-seed 1] [-csv dir]
 //	tstorm-bench -live [-duration 3s] [-json BENCH_live.json] [-telemetry addr]
 //	tstorm-bench -backend dist [-duration 3s] [-json BENCH_live.json]
+//	tstorm-bench -arena [-duration 2s] [-json BENCH_live.json]
 //
 // Without -fig it regenerates every figure in order. With -csv the series
 // are also written as CSV files into the given directory. With -live it
@@ -19,7 +20,11 @@
 // instead runs on the multi-process backend: real worker processes
 // (this binary re-executed) exchanging tuples over loopback TCP, with a
 // kill -9 recovery phase; -json merges a "distributed" section into the
-// live report.
+// live report. With -arena every registered scheduling algorithm — the
+// builtins plus Algorithm 1 — is vetted on a two-topology input and then
+// run over the same live workload, ranked by throughput with p99 latency,
+// inter-node traffic, and decision-latency columns; -json merges an
+// "arena" section into the live report.
 package main
 
 import (
@@ -46,8 +51,9 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	csvDir := flag.String("csv", "", "directory to write per-figure CSV series into")
 	liveMode := flag.Bool("live", false, "benchmark the live (wall-clock) runtime instead of regenerating figures")
+	arenaMode := flag.Bool("arena", false, "rank every registered scheduling algorithm over the live workload")
 	backend := flag.String("backend", "live", "execution backend for the live benchmark: live (in-process goroutines) or dist (real worker processes on loopback TCP)")
-	jsonPath := flag.String("json", "", "path to write the live benchmark report as JSON (with -live)")
+	jsonPath := flag.String("json", "", "path to write the live benchmark report as JSON (with -live or -arena)")
 	telemetryAddr := flag.String("telemetry", "", "serve /metrics, /debug/placement, /debug/trace on this address during -live runs (e.g. 127.0.0.1:9090)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile (all allocs since start) to this file at exit")
@@ -89,6 +95,8 @@ func main() {
 		err = runDist(*duration, *seed, *jsonPath)
 	case *backend != "live":
 		err = fmt.Errorf("unknown backend %q (have live, dist)", *backend)
+	case *arenaMode:
+		err = runArena(*duration, *seed, *jsonPath)
 	case *liveMode:
 		err = runLive(*duration, *seed, *jsonPath, *telemetryAddr)
 	default:

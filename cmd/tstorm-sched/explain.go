@@ -58,13 +58,8 @@ func runExplain(args []string) error {
 	}
 
 	probe := decision.NewBuilder()
-	in := &scheduler.Input{
-		Topologies:       []*topology.Topology{top},
-		Cluster:          cl,
-		Load:             snap,
-		CapacityFraction: *capacity,
-		Probe:            probe,
-	}
+	in := scheduler.NewInput([]*topology.Topology{top}, cl, snap, *capacity)
+	in.Probe = probe
 	algo := core.NewTrafficAware(*gamma)
 	if _, err := algo.Schedule(in); err != nil {
 		return err

@@ -76,12 +76,7 @@ func run(workload string, gamma float64, nodes int, rate float64) error {
 	}
 	db := synthesizeLoad(app, rate)
 	snap := db.Snapshot()
-	in := &scheduler.Input{
-		Topologies:       []*topology.Topology{top},
-		Cluster:          cl,
-		Load:             snap,
-		CapacityFraction: 0.9,
-	}
+	in := scheduler.NewInput([]*topology.Topology{top}, cl, snap, 0.9)
 
 	algos := []scheduler.Algorithm{
 		scheduler.RoundRobin{},

@@ -19,6 +19,11 @@ type NodeID string
 // one — the paper's blades carry 2 GB.
 const DefaultMemMB = 2048
 
+// DefaultNetMBps is the node network bandwidth assumed when a Node does
+// not specify one: 125 MB/s, i.e. the gigabit Ethernet of the paper's
+// testbed.
+const DefaultNetMBps = 125.0
+
 // Node is one worker node (physical machine).
 type Node struct {
 	ID NodeID
@@ -33,6 +38,10 @@ type Node struct {
 	// processes are JVMs with a substantial footprint; overcommitting
 	// memory slows a node down (the consolidation effect of §V).
 	MemMB int
+	// NetMBps is the node's network bandwidth in megabytes per second
+	// (0 = DefaultNetMBps). Resource-aware schedulers (R-Storm) treat it
+	// as a third capacity dimension next to CPU and memory.
+	NetMBps float64
 }
 
 // CapacityMHz is the node's total CPU capacity, the paper's C_k.
@@ -86,6 +95,12 @@ func New(nodes []Node) (*Cluster, error) {
 		}
 		if n.MemMB == 0 {
 			c.nodes[i].MemMB = DefaultMemMB
+		}
+		if n.NetMBps < 0 {
+			return nil, fmt.Errorf("cluster: node %q has negative network bandwidth", n.ID)
+		}
+		if n.NetMBps == 0 {
+			c.nodes[i].NetMBps = DefaultNetMBps
 		}
 		c.byID[n.ID] = i
 	}

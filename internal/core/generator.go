@@ -95,8 +95,10 @@ type Generator struct {
 }
 
 // StartGenerator schedules the generator's periodic work on the runtime's
-// simulation engine and returns it. algo is the initial algorithm (it is
-// also registered in the generator's registry for later swap-backs).
+// simulation engine and returns it. algo is the initial algorithm; the
+// registry is pre-populated with every built-in scheduler so any of them
+// can be hot-swapped in by name, and algo is registered last so the
+// running instance wins a name clash.
 func StartGenerator(rt *engine.Runtime, db *loaddb.DB, cfg GeneratorConfig, algo scheduler.Algorithm) (*Generator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -106,6 +108,7 @@ func StartGenerator(rt *engine.Runtime, db *loaddb.DB, cfg GeneratorConfig, algo
 		registry: scheduler.NewRegistry(),
 		algo:     algo,
 	}
+	scheduler.RegisterBuiltins(g.registry)
 	g.registry.Register(algo)
 	g.tickGen = rt.Sim().Every(cfg.GenerationPeriod, cfg.GenerationPeriod, func() { g.Generate() })
 	g.tickOverload = rt.Sim().Every(cfg.OverloadCheckPeriod, cfg.OverloadCheckPeriod, g.checkOverload)

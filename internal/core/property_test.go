@@ -49,10 +49,10 @@ func randomInput(t *testing.T, seed int64) (*scheduler.Input, float64) {
 	}
 	gamma := 1 + rng.Float64()*5
 	return &scheduler.Input{
-		Topologies:       []*topology.Topology{top},
-		Cluster:          cl,
-		Load:             db.Snapshot(),
-		CapacityFraction: 0.9,
+		Topologies:  []*topology.Topology{top},
+		Cluster:     cl,
+		Load:        db.Snapshot(),
+		Constraints: scheduler.Constraints{CPUFraction: 0.9},
 	}, gamma
 }
 

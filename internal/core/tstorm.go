@@ -25,8 +25,8 @@ import (
 // inter-node traffic, subject to three per-node constraints:
 //
 //  1. executors of one topology occupy at most one slot per node;
-//  2. total assigned workload stays within C_k (CapacityFraction × the
-//     node's physical capacity);
+//  2. total assigned workload stays within C_k (Constraints.CPUFraction
+//     × the node's physical capacity);
 //  3. the executor count stays within γ·N_e/K (the consolidation factor).
 //
 // If no slot satisfies every constraint, the constraints are relaxed
@@ -37,8 +37,6 @@ type TrafficAware struct {
 	// almost evenly over all nodes; larger values consolidate onto fewer
 	// nodes.
 	Gamma float64
-	// CapacityFraction scales node capacity to get C_k (0 means 1.0).
-	CapacityFraction float64
 	// DisableTrafficOrder skips line 2 of Algorithm 1 (the descending
 	// total-traffic sort) and places executors in declaration order
 	// instead — an ablation isolating the sort's contribution.
@@ -82,7 +80,11 @@ func (t *TrafficAware) Schedule(in *scheduler.Input) (*cluster.Assignment, error
 	if load == nil {
 		load = &loaddb.Snapshot{}
 	}
-	capFrac := in.CapacityFraction
+	// The usable-capacity fraction lives in the input's Constraints block
+	// (0 selects full capacity); only the CPU dimension matters here —
+	// Algorithm 1 is deliberately blind to memory and bandwidth, which is
+	// exactly what the rstorm/hetero contenders exist to contrast.
+	capFrac := in.Constraints.CPUFraction
 	if capFrac == 0 {
 		capFrac = 1
 	}

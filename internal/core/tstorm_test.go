@@ -171,10 +171,10 @@ func TestCapacityConstraintSpreadsHeavyLoad(t *testing.T) {
 		db.UpdateTraffic(e, e, 0)
 	}
 	a, err := NewTrafficAware(6).Schedule(&scheduler.Input{
-		Topologies:       []*topology.Topology{top},
-		Cluster:          cl,
-		Load:             db.Snapshot(),
-		CapacityFraction: 0.9,
+		Topologies:  []*topology.Topology{top},
+		Cluster:     cl,
+		Load:        db.Snapshot(),
+		Constraints: scheduler.Constraints{CPUFraction: 0.9},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -337,10 +337,10 @@ func TestHeterogeneousClusterRespectsPerNodeCapacity(t *testing.T) {
 	}
 	ta := NewTrafficAware(6)
 	a, err := ta.Schedule(&scheduler.Input{
-		Topologies:       []*topology.Topology{top},
-		Cluster:          cl,
-		Load:             db.Snapshot(),
-		CapacityFraction: 0.9,
+		Topologies:  []*topology.Topology{top},
+		Cluster:     cl,
+		Load:        db.Snapshot(),
+		Constraints: scheduler.Constraints{CPUFraction: 0.9},
 	})
 	if err != nil {
 		t.Fatal(err)

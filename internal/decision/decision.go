@@ -31,11 +31,20 @@ const (
 	// (one slot per topology per node).
 	RejectedSlot Constraint = "slot"
 	// RejectedCapacity is constraint 2: assigning the executor would push
-	// the node's workload past C_k (CapacityFraction × physical capacity).
+	// the node's workload past C_k (the Constraints.CPUFraction share of
+	// physical capacity).
 	RejectedCapacity Constraint = "capacity"
 	// RejectedCount is constraint 3: the node already holds γ·N_e/K
 	// executors (the consolidation cap).
 	RejectedCount Constraint = "count"
+	// RejectedMemory is the memory dimension of the multi-resource
+	// schedulers (rstorm): assigning the executor would push the node's
+	// committed memory past its usable MemMB.
+	RejectedMemory Constraint = "memory"
+	// RejectedNet is the network-bandwidth dimension: assigning the
+	// executor would push the node's committed bandwidth past its usable
+	// NetMBps.
+	RejectedNet Constraint = "net"
 )
 
 // SlotOption is one candidate slot evaluated for one executor during the

@@ -80,7 +80,9 @@ type Generator struct {
 }
 
 // StartGenerator launches the periodic generation goroutine. algo is the
-// initial algorithm (also registered for later swap-backs).
+// initial algorithm; the registry is pre-populated with every built-in
+// scheduler so any of them can be hot-swapped in by name, and algo is
+// registered last so the running instance wins a name clash.
 func StartGenerator(eng SchedulerTarget, db *loaddb.DB, cfg GeneratorConfig, algo scheduler.Algorithm) (*Generator, error) {
 	if cfg.Period <= 0 {
 		return nil, fmt.Errorf("live: non-positive generator period")
@@ -100,6 +102,7 @@ func StartGenerator(eng SchedulerTarget, db *loaddb.DB, cfg GeneratorConfig, alg
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
+	scheduler.RegisterBuiltins(g.registry)
 	g.registry.Register(algo)
 	go g.loop()
 	return g, nil

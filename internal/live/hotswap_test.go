@@ -1,0 +1,175 @@
+package live
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"tstorm/internal/cluster"
+	"tstorm/internal/core"
+	"tstorm/internal/engine"
+	"tstorm/internal/loaddb"
+	"tstorm/internal/topology"
+)
+
+// TestHotSwapMidRunReschedulesCleanly swaps the scheduling algorithm by
+// name between reschedule rounds on a running live engine — tstorm, then
+// rstorm, then the default round-robin — and checks each swapped-in
+// contender produces a clean full reschedule (every executor placed,
+// apply counted) with tuple conservation intact across all migrations.
+// The registry seeding (RegisterBuiltins in StartGenerator) is what makes
+// the by-name swap possible without constructing algorithm instances.
+func TestHotSwapMidRunReschedulesCleanly(t *testing.T) {
+	b := topology.NewBuilder("swap", 2)
+	b.Spout("src", 2).Output("", "id")
+	b.Bolt("work", 2).Direct("src")
+	top, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cons := &conserve{seen: make(map[int64]int)}
+	var spoutMu sync.Mutex
+	var spouts []*seqSpout
+	app := &engine.App{
+		Topology: top,
+		Spouts: map[string]func() engine.Spout{"src": func() engine.Spout {
+			s := &seqSpout{}
+			spoutMu.Lock()
+			spouts = append(spouts, s)
+			spoutMu.Unlock()
+			return s
+		}},
+		Bolts:         map[string]func() engine.Bolt{"work": func() engine.Bolt { return &sinkBolt{c: cons} }},
+		SpoutInterval: map[string]time.Duration{"src": time.Millisecond},
+	}
+
+	cl, err := cluster.Uniform(2, 4, 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := func(comp string, i int) topology.ExecutorID {
+		return topology.ExecutorID{Topology: "swap", Component: comp, Index: i}
+	}
+	n1 := cluster.SlotID{Node: "node01", Port: cluster.BasePort}
+	n2 := cluster.SlotID{Node: "node02", Port: cluster.BasePort}
+	// Worst-case placement, as in the integration test: each spout's only
+	// consumer sits on the other node, so every contender has something
+	// to improve.
+	initial := cluster.NewAssignment(0)
+	initial.Assign(ex("src", 0), n1)
+	initial.Assign(ex("work", 1), n1)
+	initial.Assign(ex("src", 1), n2)
+	initial.Assign(ex("work", 0), n2)
+
+	eng, err := NewEngine(testConfig(), cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Submit(app, initial); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Stop()
+
+	db := loaddb.New(0.5)
+	mon := StartMonitor(eng, db, 50*time.Millisecond)
+	defer mon.Stop()
+	gen, err := StartGenerator(eng, db, GeneratorConfig{
+		Period:               time.Hour, // manual Reschedule only
+		CapacityFraction:     0.9,
+		ImprovementThreshold: 0.10,
+	}, core.NewTrafficAware(1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gen.Stop()
+
+	if err := gen.SwapTo("no-such-algorithm"); err == nil {
+		t.Fatal("SwapTo accepted an unregistered name")
+	}
+
+	waitFor(t, 15*time.Second, "monitor windows and initial traffic", func() bool {
+		return mon.Samples() >= 3 && eng.Totals().SinkProcessed > 1000
+	})
+
+	// Three reschedule rounds, each under a different algorithm swapped in
+	// by name mid-run. Round-robin is guaranteed to differ from tstorm's
+	// co-located schedule, so every round applies.
+	checkComplete := func(round string) {
+		t.Helper()
+		cur, ok := eng.CurrentAssignment("swap")
+		if !ok {
+			t.Fatalf("%s: assignment vanished", round)
+		}
+		if len(cur.Executors) != top.NumExecutors() {
+			t.Fatalf("%s: %d of %d executors placed", round, len(cur.Executors), top.NumExecutors())
+		}
+	}
+	gen.Reschedule() // round 1: tstorm (the initial algorithm)
+	checkComplete("tstorm round")
+
+	for _, name := range []string{"rstorm", "default"} {
+		if err := gen.SwapTo(name); err != nil {
+			t.Fatalf("SwapTo(%q): %v", name, err)
+		}
+		if got := gen.Algorithm().Name(); got != name {
+			t.Fatalf("active algorithm %q after SwapTo(%q)", got, name)
+		}
+		// Let fresh load windows land between rounds, as in production.
+		pre := mon.Samples()
+		waitFor(t, 15*time.Second, "a monitor window after the swap", func() bool {
+			return mon.Samples() > pre
+		})
+		gen.Reschedule()
+		checkComplete(name + " round")
+	}
+	tot := eng.Totals()
+	if tot.Applies < 2 {
+		t.Fatalf("applies = %d across three contender rounds, want ≥2", tot.Applies)
+	}
+
+	waitFor(t, 15*time.Second, "post-swap traffic", func() bool {
+		return eng.Totals().SinkProcessed > tot.SinkProcessed+1000
+	})
+
+	// Drain completely so the conservation count is exact.
+	eng.HaltSpouts()
+	if !eng.Quiesce(2 * time.Second) {
+		t.Fatal("engine did not quiesce")
+	}
+	time.Sleep(20 * time.Millisecond)
+	if !eng.Quiesce(2 * time.Second) {
+		t.Fatal("engine did not re-quiesce")
+	}
+	final := eng.Totals()
+	eng.Stop()
+
+	// Conservation across every swap-triggered migration: each emitted ID
+	// reached the sink exactly once.
+	var emitted int64
+	spoutMu.Lock()
+	for _, s := range spouts {
+		emitted += s.seq
+	}
+	spoutMu.Unlock()
+	if emitted == 0 {
+		t.Fatal("spouts emitted nothing")
+	}
+	if final.RootsEmitted != emitted {
+		t.Errorf("engine counted %d roots, spouts emitted %d", final.RootsEmitted, emitted)
+	}
+	cons.mu.Lock()
+	defer cons.mu.Unlock()
+	if int64(len(cons.seen)) != emitted {
+		t.Errorf("sink saw %d distinct ids, spouts emitted %d (lost %d)",
+			len(cons.seen), emitted, emitted-int64(len(cons.seen)))
+	}
+	for id, c := range cons.seen {
+		if c != 1 {
+			t.Fatalf("id %d delivered %d times, want exactly once", id, c)
+		}
+	}
+}

@@ -32,6 +32,30 @@ type LoadSink interface {
 
 var _ LoadSink = (*loaddb.DB)(nil)
 
+// MemorySink is the optional memory-signal extension of LoadSink. It is
+// a separate interface discovered by type assertion — not a new method on
+// LoadSink — because ApplyWindow's shape is part of the distributed
+// control-plane protocol (workers proxy windows over their control
+// connection) and must not change under a wire-incompatible extension.
+// Sinks that don't implement it simply never see memory samples, and
+// demand derivation falls back to the model baseline.
+type MemorySink interface {
+	ApplyMemory(mem map[topology.ExecutorID]float64)
+}
+
+var _ MemorySink = (*loaddb.DB)(nil)
+
+// Per-executor memory model of the live monitor: a fixed baseline (the
+// executor's channels, routing scratch, and component state) plus a
+// backlog share — input batches waiting in the bounded queue pin tuples
+// in memory until drained, so a congested executor reports a larger
+// footprint and memory-aware schedulers (rstorm) spread it away from
+// already-full nodes.
+const (
+	execBaseMemMB       = 64.0
+	execQueueShareMemMB = 192.0
+)
+
 // Monitor is the live-runtime load monitor (§IV-B over wall-clock time):
 // every period it drains each executor's accumulated CPU time and the
 // inter-executor tuple counts, converts them to instantaneous MHz and
@@ -180,6 +204,7 @@ func (m *Monitor) Sample() {
 	rt := eng.routes.Load()
 
 	loads := make(map[topology.ExecutorID]float64, len(rt.byDense))
+	mems := make(map[topology.ExecutorID]float64, len(rt.byDense))
 	nodeLoad := make(map[cluster.NodeID]float64)
 	for _, le := range rt.byDense {
 		nanos := le.cpuNanos.Swap(0) // drain even when skipped below
@@ -202,6 +227,11 @@ func (m *Monitor) Sample() {
 		mhz := float64(nanos) / 1e9 / secs * eng.cfg.RefMHz
 		loads[le.id] = mhz
 		nodeLoad[rt.slotOf[le.dense].Node] += mhz
+		backlog := 0.0
+		if c := cap(le.in); c > 0 {
+			backlog = float64(len(le.in)) / float64(c)
+		}
+		mems[le.id] = execBaseMemMB + execQueueShareMemMB*backlog
 	}
 
 	flows := make(map[loaddb.FlowKey]float64)
@@ -228,6 +258,9 @@ func (m *Monitor) Sample() {
 		flows[k] = 0
 	}
 	m.db.ApplyWindow(loads, flows)
+	if ms, ok := m.db.(MemorySink); ok {
+		ms.ApplyMemory(mems)
+	}
 
 	m.lastRoundNanos.Store(int64(time.Since(now)))
 	m.lastSampleNanos.Store(time.Now().UnixNano())

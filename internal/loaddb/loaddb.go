@@ -29,6 +29,10 @@ type Flow struct {
 type Snapshot struct {
 	// ExecLoad maps executor to its smoothed CPU usage in MHz.
 	ExecLoad map[topology.ExecutorID]float64
+	// ExecMem maps executor to its smoothed memory footprint in MB. Nil
+	// or missing entries mean no monitor has reported memory for the
+	// executor; demand derivation falls back to a model baseline.
+	ExecMem map[topology.ExecutorID]float64
 	// Flows lists smoothed traffic rates, sorted deterministically
 	// (by From, then To).
 	Flows []Flow
@@ -51,6 +55,7 @@ type DB struct {
 	alpha   float64
 	factory predictor.Factory
 	load    map[topology.ExecutorID]predictor.Estimator
+	mem     map[topology.ExecutorID]predictor.Estimator
 	flows   map[FlowKey]predictor.Estimator
 }
 
@@ -69,6 +74,7 @@ func NewWithEstimator(factory predictor.Factory) *DB {
 	return &DB{
 		factory: factory,
 		load:    make(map[topology.ExecutorID]predictor.Estimator),
+		mem:     make(map[topology.ExecutorID]predictor.Estimator),
 		flows:   make(map[FlowKey]predictor.Estimator),
 	}
 }
@@ -87,6 +93,21 @@ func (db *DB) UpdateExecutorLoad(e topology.ExecutorID, mhz float64) {
 		db.load[e] = est
 	}
 	est.Update(mhz)
+}
+
+// UpdateExecutorMemory folds one instantaneous memory footprint sample
+// (MB) into the executor's estimate. Memory is a separate signal from the
+// CPU workload: not every monitor reports it, and the scheduler falls
+// back to a model baseline for executors it has never seen.
+func (db *DB) UpdateExecutorMemory(e topology.ExecutorID, mb float64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	est := db.mem[e]
+	if est == nil {
+		est = db.factory()
+		db.mem[e] = est
+	}
+	est.Update(mb)
 }
 
 // UpdateTraffic folds one instantaneous rate sample (tuples/s) into the
@@ -130,11 +151,40 @@ func (db *DB) ApplyWindow(loads map[topology.ExecutorID]float64, flows map[FlowK
 	}
 }
 
+// ApplyMemory folds one monitoring window of per-executor memory samples
+// (MB) under a single lock acquisition. It is deliberately a separate
+// method from ApplyWindow: ApplyWindow's signature is part of the
+// LoadSink interface the distributed control plane ships over the wire,
+// and memory is an optional signal discovered by type assertion.
+func (db *DB) ApplyMemory(mem map[topology.ExecutorID]float64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for e, mb := range mem {
+		est := db.mem[e]
+		if est == nil {
+			est = db.factory()
+			db.mem[e] = est
+		}
+		est.Update(mb)
+	}
+}
+
 // ExecutorLoad reads one executor's current estimate (0 if unknown).
 func (db *DB) ExecutorLoad(e topology.ExecutorID) float64 {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if est := db.load[e]; est != nil {
+		return est.Value()
+	}
+	return 0
+}
+
+// ExecutorMemory reads one executor's current memory estimate in MB
+// (0 if no monitor has reported memory for it).
+func (db *DB) ExecutorMemory(e topology.ExecutorID) float64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if est := db.mem[e]; est != nil {
 		return est.Value()
 	}
 	return 0
@@ -169,6 +219,11 @@ func (db *DB) Forget(topo string) {
 			delete(db.load, e)
 		}
 	}
+	for e := range db.mem {
+		if e.Topology == topo {
+			delete(db.mem, e)
+		}
+	}
 	for k := range db.flows {
 		if k.From.Topology == topo || k.To.Topology == topo {
 			delete(db.flows, k)
@@ -183,6 +238,12 @@ func (db *DB) Snapshot() *Snapshot {
 	s := &Snapshot{ExecLoad: make(map[topology.ExecutorID]float64, len(db.load))}
 	for e, est := range db.load {
 		s.ExecLoad[e] = est.Value()
+	}
+	if len(db.mem) > 0 {
+		s.ExecMem = make(map[topology.ExecutorID]float64, len(db.mem))
+		for e, est := range db.mem {
+			s.ExecMem[e] = est.Value()
+		}
 	}
 	s.Flows = make([]Flow, 0, len(db.flows))
 	for k, est := range db.flows {

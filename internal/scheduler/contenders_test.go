@@ -1,0 +1,216 @@
+package scheduler
+
+import (
+	"testing"
+
+	"tstorm/internal/cluster"
+	"tstorm/internal/decision"
+	"tstorm/internal/loaddb"
+	"tstorm/internal/topology"
+)
+
+// contenderInput builds a two-topology input with deterministic demands
+// so both contenders exercise multi-topology slot exclusivity.
+func contenderInput(t *testing.T, cl *cluster.Cluster) *Input {
+	t.Helper()
+	t1 := buildChain(t, "a", 8, 2, 4)
+	t2 := buildChain(t, "b", 4, 1, 2)
+	db := loaddb.New(1)
+	for ti, top := range []*topology.Topology{t1, t2} {
+		for i, e := range top.Executors() {
+			db.UpdateExecutorLoad(e, float64(200+150*((i+ti)%5)))
+			db.UpdateExecutorMemory(e, float64(64+32*(i%3)))
+		}
+		execs := top.Executors()
+		for i := 1; i < len(execs); i++ {
+			db.UpdateTraffic(execs[i-1], execs[i], float64(1000*(i+ti)))
+		}
+	}
+	return NewInput([]*topology.Topology{t1, t2}, cl, db.Snapshot(), 0.9)
+}
+
+// checkComplete asserts every executor placed and no slot shared between
+// topologies — the engine's hard requirements on any assignment.
+func checkComplete(t *testing.T, in *Input, a *cluster.Assignment) {
+	t.Helper()
+	want := 0
+	for _, top := range in.Topologies {
+		want += top.NumExecutors()
+	}
+	if len(a.Executors) != want {
+		t.Fatalf("placed %d executors, want %d", len(a.Executors), want)
+	}
+	slotOwner := make(map[cluster.SlotID]string)
+	for e, s := range a.Executors {
+		if owner, ok := slotOwner[s]; ok && owner != e.Topology {
+			t.Fatalf("slot %v shared between topologies %q and %q", s, owner, e.Topology)
+		}
+		slotOwner[s] = e.Topology
+	}
+}
+
+func TestContendersCompleteAndDeterministic(t *testing.T) {
+	cl := tenNodes(t)
+	for _, algo := range []Algorithm{RStorm{}, Hetero{}} {
+		t.Run(algo.Name(), func(t *testing.T) {
+			in := contenderInput(t, cl)
+			a, err := algo.Schedule(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkComplete(t, in, a)
+			b, err := algo.Schedule(contenderInput(t, cl))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !a.Equal(b) {
+				t.Fatal("two runs over the same input disagree")
+			}
+		})
+	}
+}
+
+// TestRStormRespectsAllDimensions overloads one dimension at a time and
+// checks that packing spreads instead of overcommitting it.
+func TestRStormRespectsAllDimensions(t *testing.T) {
+	top := buildChain(t, "m", 20, 2, 5) // 14 executors
+	// Small-memory nodes: 2 executors of 512 MB fill a 1200 MB node.
+	nodes := make([]cluster.Node, 8)
+	for i := range nodes {
+		nodes[i] = cluster.Node{ID: cluster.NodeID(rune('a' + i)), Cores: 8,
+			CoreMHz: 3000, NumSlots: 4, MemMB: 1200}
+	}
+	cl, err := cluster.New(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := loaddb.New(1)
+	for _, e := range top.Executors() {
+		db.UpdateExecutorLoad(e, 100)
+		db.UpdateExecutorMemory(e, 512)
+	}
+	in := NewInput([]*topology.Topology{top}, cl, db.Snapshot(), 0)
+	a, err := RStorm{}.Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkComplete(t, in, a)
+	perNode := make(map[cluster.NodeID]float64)
+	for e := range a.Executors {
+		perNode[a.Executors[e].Node] += in.DemandFor(e).MemMB
+	}
+	for n, mb := range perNode {
+		if mb > 1200 {
+			t.Fatalf("node %s memory overcommitted: %v MB of 1200", n, mb)
+		}
+	}
+	// 14 executors × 512 MB at ≤2 per node needs ≥7 nodes.
+	if got := a.NumUsedNodes(); got < 7 {
+		t.Fatalf("memory constraint ignored: only %d nodes used", got)
+	}
+}
+
+// TestHeteroPrefersFastNodes puts two node classes in the cluster and
+// checks the heavy executors land on the fast one.
+func TestHeteroPrefersFastNodes(t *testing.T) {
+	nodes := []cluster.Node{
+		{ID: "fast", Cores: 16, CoreMHz: 4000, NumSlots: 8},
+		{ID: "slow", Cores: 16, CoreMHz: 1000, NumSlots: 8},
+	}
+	cl, err := cluster.New(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := buildChain(t, "h", 8, 1, 2) // 1+2+2+2 = 7 executors
+	db := loaddb.New(1)
+	for i, e := range top.Executors() {
+		db.UpdateExecutorLoad(e, float64(3000-200*i))
+	}
+	in := NewInput([]*topology.Topology{top}, cl, db.Snapshot(), 0)
+	a, err := Hetero{}.Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkComplete(t, in, a)
+	// The fast node has 64 GHz usable; all 7 executors (≤ 21 GHz) fit, and
+	// every placement scores higher there — nothing should touch "slow".
+	for e, s := range a.Executors {
+		if s.Node != "fast" {
+			t.Fatalf("executor %v landed on %s with the fast node feasible", e, s.Node)
+		}
+	}
+}
+
+// TestContenderProbesNamePerDimensionConstraints runs rstorm with a probe
+// on a memory-constrained cluster and checks losing slots carry resource-
+// dimension rejection labels.
+func TestContenderProbesNamePerDimensionConstraints(t *testing.T) {
+	top := buildChain(t, "p", 20, 2, 5)
+	nodes := make([]cluster.Node, 8)
+	for i := range nodes {
+		nodes[i] = cluster.Node{ID: cluster.NodeID(rune('a' + i)), Cores: 8,
+			CoreMHz: 3000, NumSlots: 4, MemMB: 1200}
+	}
+	cl, err := cluster.New(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := loaddb.New(1)
+	for _, e := range top.Executors() {
+		db.UpdateExecutorLoad(e, 100)
+		db.UpdateExecutorMemory(e, 512)
+	}
+	in := NewInput([]*topology.Topology{top}, cl, db.Snapshot(), 0)
+	probe := decision.NewBuilder()
+	in.Probe = probe
+	if _, err := (RStorm{}).Schedule(in); err != nil {
+		t.Fatal(err)
+	}
+	rep := probe.Report()
+	if rep.Algorithm != "rstorm" {
+		t.Fatalf("report algorithm %q, want rstorm", rep.Algorithm)
+	}
+	if len(rep.Placements) != top.NumExecutors() {
+		t.Fatalf("%d placements recorded, want %d", len(rep.Placements), top.NumExecutors())
+	}
+	byConstraint := make(map[decision.Constraint]int)
+	for _, p := range rep.Placements {
+		if len(p.Options) == 0 {
+			t.Fatalf("placement of %v recorded no candidate slots", p.Executor)
+		}
+		chosen := 0
+		for _, o := range p.Options {
+			if o.Chosen {
+				chosen++
+			}
+			if o.Rejected != "" {
+				byConstraint[o.Rejected]++
+			}
+		}
+		if chosen != 1 {
+			t.Fatalf("placement of %v marked %d chosen slots", p.Executor, chosen)
+		}
+	}
+	if byConstraint[decision.RejectedMemory] == 0 {
+		t.Fatalf("no slot rejected on the memory dimension: %v", byConstraint)
+	}
+}
+
+func TestRegisterBuiltins(t *testing.T) {
+	r := NewRegistry()
+	RegisterBuiltins(r)
+	for _, name := range []string{"default", "tstorm-initial", "aniello-offline",
+		"aniello-online", "load-balanced", "rstorm", "hetero"} {
+		if _, ok := r.Get(name); !ok {
+			t.Fatalf("builtin %q not registered", name)
+		}
+	}
+	// An already-registered name survives: callers register their running
+	// algorithm after the builtins, so the instance in use wins clashes.
+	r2 := NewRegistry()
+	RegisterBuiltins(r2)
+	r2.Register(Pinned{Assignment: cluster.NewAssignment(7)})
+	if len(r2.Names()) != 8 {
+		t.Fatalf("names = %v, want 8 entries", r2.Names())
+	}
+}

@@ -1,0 +1,139 @@
+package scheduler_test
+
+// Golden-assignment equivalence tests: every algorithm's placement on a
+// fixed fixture is pinned byte-for-byte in testdata/golden/. The fixtures
+// were captured against the scalar-CapacityFraction Input that predated
+// the multi-resource redesign, so a passing run proves the redesigned
+// Input (Constraints block + per-executor Demands) leaves every
+// pre-existing algorithm's output bit-identical. Regenerate deliberately
+// with `go test -run TestGoldenAssignments -update ./internal/scheduler`
+// after a change that is MEANT to alter placements.
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tstorm/internal/cluster"
+	"tstorm/internal/core"
+	"tstorm/internal/loaddb"
+	"tstorm/internal/scheduler"
+	"tstorm/internal/topology"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden fixtures")
+
+// goldenTopologies builds the fixture: two topologies of different shapes
+// sharing one cluster, so slot-exclusivity and multi-topology interleaving
+// are both exercised.
+func goldenTopologies(t *testing.T) []*topology.Topology {
+	t.Helper()
+	ab := topology.NewBuilder("alpha", 8)
+	ab.SetAckers(2)
+	ab.Spout("spout", 4).Output("default", "v")
+	ab.Bolt("mid", 8).Shuffle("spout").Output("default", "k", "v")
+	ab.Bolt("sink", 6).Fields("mid", "k")
+	alpha, err := ab.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb := topology.NewBuilder("beta", 4)
+	bb.SetAckers(1)
+	bb.Spout("spout", 2).Output("default", "v")
+	bb.Bolt("work", 4).Shuffle("spout")
+	beta, err := bb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*topology.Topology{alpha, beta}
+}
+
+// goldenLoad synthesizes a deterministic load snapshot: executor CPU load
+// and pairwise traffic follow closed-form functions of the executor
+// indices, so the snapshot is identical on every run and every platform.
+func goldenLoad(tops []*topology.Topology) *loaddb.Snapshot {
+	db := loaddb.New(1)
+	for ti, top := range tops {
+		execs := top.Executors()
+		for i, e := range execs {
+			db.UpdateExecutorLoad(e, float64(100+37*((i+ti*11)%13)))
+		}
+		// Traffic along declared edges: every producer executor feeds every
+		// consumer executor with a rate derived from the index pair.
+		for _, name := range top.ComponentNames() {
+			c, _ := top.Component(name)
+			for _, edge := range top.Consumers(name, topology.DefaultStream) {
+				cons, _ := top.Component(edge.Consumer)
+				for i := 0; i < c.Parallelism; i++ {
+					from := topology.ExecutorID{Topology: top.Name(), Component: name, Index: i}
+					for j := 0; j < cons.Parallelism; j++ {
+						to := topology.ExecutorID{Topology: top.Name(), Component: edge.Consumer, Index: j}
+						db.UpdateTraffic(from, to, float64(50+(i*7+j*3+ti*5)%97))
+					}
+				}
+			}
+		}
+	}
+	return db.Snapshot()
+}
+
+// goldenAlgorithms lists every pre-redesign algorithm under golden pinning.
+func goldenAlgorithms() []scheduler.Algorithm {
+	return []scheduler.Algorithm{
+		scheduler.RoundRobin{},
+		scheduler.TStormInitial{},
+		scheduler.AnielloOffline{},
+		scheduler.AnielloOnline{},
+		scheduler.LoadBalanced{},
+		core.NewTrafficAware(1.5),
+	}
+}
+
+func TestGoldenAssignments(t *testing.T) {
+	tops := goldenTopologies(t)
+	cl, err := cluster.Uniform(6, 4, 2000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := goldenLoad(tops)
+	for _, algo := range goldenAlgorithms() {
+		algo := algo
+		t.Run(algo.Name(), func(t *testing.T) {
+			in := scheduler.NewInput(tops, cl, snap, 0.9)
+			a, err := algo.Schedule(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw, err := json.Marshal(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf json.RawMessage = raw
+			pretty, err := json.MarshalIndent(buf, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			pretty = append(pretty, '\n')
+			path := filepath.Join("testdata", "golden", algo.Name()+".json")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, pretty, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden fixture (run with -update to capture): %v", err)
+			}
+			if string(want) != string(pretty) {
+				t.Fatalf("assignment diverged from golden fixture %s\ngot:\n%s\nwant:\n%s",
+					path, pretty, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,131 @@
+package scheduler
+
+import (
+	"fmt"
+	"sort"
+
+	"tstorm/internal/cluster"
+	"tstorm/internal/decision"
+	"tstorm/internal/topology"
+)
+
+// Hetero is a heterogeneous-cluster throughput maximizer in the style of
+// Nasiri et al.: executors are placed heaviest-CPU-first, and each goes
+// to the feasible slot on the fastest node — per-core clock speed first,
+// remaining usable CPU as the tie-break — so on a cluster of unequal
+// machines the hot executors monopolize the fast cores and the long pole
+// of every tuple tree shortens. On a uniform cluster it degenerates to
+// worst-fit CPU balancing, which is exactly the contrast the arena wants
+// against rstorm's best-fit packing and Algorithm 1's traffic chasing.
+//
+// Feasibility spans all three resource dimensions of the input's
+// Constraints, with per-dimension rejection labels on the probe; the
+// same progressive relaxation as rstorm keeps the algorithm total.
+type Hetero struct{}
+
+var _ Algorithm = Hetero{}
+
+// Name returns "hetero".
+func (Hetero) Name() string { return "hetero" }
+
+// Schedule places executors heaviest-first on the fastest feasible node.
+func (Hetero) Schedule(in *Input) (*cluster.Assignment, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	var execs []topology.ExecutorID
+	for _, top := range in.Topologies {
+		execs = append(execs, top.Executors()...)
+	}
+	sort.SliceStable(execs, func(i, j int) bool {
+		di, dj := in.DemandFor(execs[i]).CPUMHz, in.DemandFor(execs[j]).CPUMHz
+		if di != dj {
+			return di > dj
+		}
+		return execs[i].Less(execs[j])
+	})
+
+	a := cluster.NewAssignment(0)
+	rs := newResourceState(in)
+	slots := in.FreeSlots()
+	probe := in.Probe
+	if probe != nil {
+		probe.Begin("hetero", in.NumExecutors(), in.Cluster.NumNodes())
+	}
+
+	// score is the slot's speed-weighted headroom: per-core clock speed
+	// scaled by the fraction of usable CPU still free after the placement.
+	// Fast idle nodes dominate, fast busy nodes fade, slow nodes lose.
+	score := func(n cluster.NodeID, d Demand) float64 {
+		node, _ := in.Cluster.Node(n)
+		limit := in.Constraints.CPULimitMHz(node)
+		if limit <= 0 {
+			return 0
+		}
+		headroom := (limit - rs.cpu[n] - d.CPUMHz) / limit
+		return node.CoreMHz * headroom
+	}
+
+	for rank, e := range execs {
+		d := in.DemandFor(e)
+		var opts []decision.SlotOption
+		eval := func(relaxNet, relaxMem, relaxCPU, record bool) (cluster.SlotID, bool) {
+			var best cluster.SlotID
+			bestScore := 0.0
+			found := false
+			for _, s := range slots {
+				rejected := rs.classify(s, e.Topology, d, relaxNet, relaxMem, relaxCPU)
+				sc := score(s.Node, d)
+				if record {
+					opts = append(opts, decision.SlotOption{Slot: s, Gain: sc, Rejected: rejected})
+				}
+				if rejected != "" {
+					continue
+				}
+				if !found || sc > bestScore {
+					best, bestScore = s, sc
+					found = true
+				}
+			}
+			return best, found
+		}
+
+		slot, ok := eval(false, false, false, probe != nil)
+		relaxed := false
+		if !ok {
+			relaxed = true
+			slot, ok = eval(true, false, false, false)
+		}
+		if !ok {
+			slot, ok = eval(true, true, false, false)
+		}
+		if !ok {
+			slot, ok = eval(true, true, true, false)
+		}
+		if !ok {
+			return nil, fmt.Errorf("scheduler: hetero found no slot for executor %v", e)
+		}
+		if probe != nil {
+			for i := range opts {
+				if opts[i].Slot == slot {
+					opts[i].Chosen = true
+				}
+			}
+			probe.Place(decision.Placement{
+				Executor:        e,
+				Rank:            rank,
+				Load:            d.CPUMHz,
+				Slot:            slot,
+				Gain:            score(slot.Node, d),
+				RelaxedCapacity: relaxed,
+				Options:         opts,
+			})
+		}
+		a.Assign(e, slot)
+		rs.commit(e, slot, d)
+	}
+	if probe != nil {
+		probe.Finish(a, in.Load)
+	}
+	return a, nil
+}

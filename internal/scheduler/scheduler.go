@@ -32,9 +32,16 @@ type Input struct {
 	// Occupied marks slots unavailable because another topology (not in
 	// Topologies) owns them.
 	Occupied map[cluster.SlotID]bool
-	// CapacityFraction scales each node's usable CPU capacity (the
-	// paper's advice to set C_k below physical capacity); 0 means 1.0.
-	CapacityFraction float64
+	// Demands maps each executor to its multi-resource demand estimate
+	// (CPU MHz, memory MB, network MB/s), derived from Load by
+	// DeriveDemands. May be nil on hand-built inputs; algorithms read
+	// through DemandFor, which falls back to a model baseline.
+	Demands map[topology.ExecutorID]Demand
+	// Constraints bounds per-node resource use. All fractions are in
+	// [0,1] and 0 selects full capacity; CPUFraction is the paper's
+	// advice to set C_k below physical capacity (the old scalar
+	// CapacityFraction field).
+	Constraints Constraints
 	// Probe, when non-nil, receives the run's placement decisions —
 	// which slots were considered for each executor, with what gain, and
 	// which constraint rejected the losers. Algorithms must behave
@@ -46,15 +53,21 @@ type Input struct {
 // NewInput assembles a scheduling Input from its parts — the single
 // construction path shared by the simulated schedule generator
 // (internal/core) and the live runtime's generator (internal/live), so
-// both backends hand algorithms inputs of identical shape. load may be nil
-// for offline/initial scheduling; capacityFraction 0 means full capacity.
+// both backends hand algorithms inputs of identical shape. load may be
+// nil for offline/initial scheduling; capacityFraction populates
+// Constraints.CPUFraction (0 selects full capacity). Per-executor
+// resource demands are derived from the snapshot with the default
+// DemandModel; callers needing a custom model overwrite Demands after
+// construction.
 func NewInput(topos []*topology.Topology, cl *cluster.Cluster, load *loaddb.Snapshot, capacityFraction float64) *Input {
+	topos = append([]*topology.Topology(nil), topos...)
 	return &Input{
-		Topologies:       append([]*topology.Topology(nil), topos...),
-		Cluster:          cl,
-		Load:             load,
-		CapacityFraction: capacityFraction,
-		Occupied:         make(map[cluster.SlotID]bool),
+		Topologies:  topos,
+		Cluster:     cl,
+		Load:        load,
+		Demands:     DeriveDemands(topos, load, DemandModel{}),
+		Constraints: Constraints{CPUFraction: capacityFraction},
+		Occupied:    make(map[cluster.SlotID]bool),
 	}
 }
 
@@ -116,8 +129,8 @@ func (in *Input) Validate() error {
 	if in.Cluster == nil {
 		return fmt.Errorf("scheduler: no cluster")
 	}
-	if in.CapacityFraction < 0 || in.CapacityFraction > 1 {
-		return fmt.Errorf("scheduler: capacity fraction %v out of (0,1]", in.CapacityFraction)
+	if err := in.Constraints.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -166,6 +179,21 @@ func (r *Registry) Names() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// RegisterBuiltins registers every algorithm this package defines under
+// its canonical name — the baselines plus the arena contenders — so both
+// schedule generators (sim and live) expose the full field for hot-swap
+// and the arena bench can rank them all. Algorithm 1 itself lives in
+// internal/core (above this package) and is registered by its caller;
+// Pinned is omitted because it needs per-instance state.
+func RegisterBuiltins(r *Registry) {
+	for _, a := range []Algorithm{
+		RoundRobin{}, TStormInitial{}, AnielloOffline{}, AnielloOnline{},
+		LoadBalanced{}, RStorm{}, Hetero{},
+	} {
+		r.Register(a)
+	}
 }
 
 // assignRoundRobin distributes executors over the given worker slots in

@@ -210,7 +210,7 @@ func TestInputValidation(t *testing.T) {
 		t.Fatal("input without cluster validated")
 	}
 	cl := tenNodes(t)
-	bad := &Input{Topologies: []*topology.Topology{top}, Cluster: cl, CapacityFraction: 1.5}
+	bad := &Input{Topologies: []*topology.Topology{top}, Cluster: cl, Constraints: Constraints{CPUFraction: 1.5}}
 	if err := bad.Validate(); err == nil {
 		t.Fatal("capacity fraction >1 validated")
 	}

@@ -222,16 +222,26 @@ func TestStackLifecycleLive(t *testing.T) {
 		t.Fatalf("second Stop: %v", err)
 	}
 
-	// The deprecated shim still wires a live stack.
-	legacy, err := tstorm.WireLive(eng, 2)
+	// Re-wiring the same engine with a non-default algorithm works, and
+	// every built-in (including Algorithm 1) stays hot-swappable by name.
+	rewired, err := tstorm.Wire(eng, tstorm.WithGamma(2), tstorm.WithAlgorithm("rstorm"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !legacy.Live() {
-		t.Fatal("WireLive did not produce a live stack")
+	if !rewired.Live() {
+		t.Fatal("Wire did not produce a live stack")
 	}
-	if err := legacy.Stop(); err != nil {
+	for _, name := range []string{"tstorm", "rstorm", "hetero", "default"} {
+		if _, ok := rewired.LiveGenerator.Registry().Get(name); !ok {
+			t.Fatalf("algorithm %q not registered after Wire", name)
+		}
+	}
+	if err := rewired.Stop(); err != nil {
 		t.Fatal(err)
+	}
+
+	if _, err := tstorm.Wire(eng, tstorm.WithAlgorithm("no-such-algo")); err == nil {
+		t.Fatal("Wire accepted an unknown algorithm name")
 	}
 }
 

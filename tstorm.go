@@ -187,19 +187,6 @@ func NewLiveEngine(cfg LiveConfig, cl *Cluster) (*LiveEngine, error) {
 	return live.NewEngine(cfg, cl)
 }
 
-// LiveStack is the unified Stack.
-//
-// Deprecated: Wire returns one Stack type for both backends now.
-type LiveStack = Stack
-
-// WireLive assembles the T-Storm stack on a live engine.
-//
-// Deprecated: use Wire(eng, WithGamma(gamma)) — Wire accepts both
-// backends and returns the unified Stack.
-func WireLive(eng *LiveEngine, gamma float64) (*LiveStack, error) {
-	return Wire(eng, WithGamma(gamma))
-}
-
 // Observability.
 type (
 	// TraceRecorder captures structured runtime events.
@@ -313,6 +300,7 @@ const (
 // wireConfig collects Wire's options; zero fields mean Table II defaults.
 type wireConfig struct {
 	gamma           float64
+	algorithm       string // scheduling algorithm name; "" = Algorithm 1
 	monitorPeriod   time.Duration
 	generatePeriod  time.Duration
 	ackTimeout      time.Duration // live only
@@ -341,6 +329,48 @@ func WithGamma(gamma float64) Option {
 			return
 		}
 		c.gamma = gamma
+	}
+}
+
+// WithAlgorithm selects the scheduling algorithm the generator runs, by
+// registry name: "tstorm" (Algorithm 1, the default), the baselines
+// ("default", "tstorm-initial", "aniello-offline", "aniello-online",
+// "load-balanced"), or the multi-resource contenders ("rstorm",
+// "hetero"). Every built-in stays registered in Stack's generator
+// regardless, so the choice here is just the starting point — SwapTo can
+// hot-swap to any other name mid-run. Unknown names are rejected by
+// Wire.
+func WithAlgorithm(name string) Option {
+	return func(c *wireConfig) {
+		if name == "" {
+			c.optErr(fmt.Errorf("tstorm: WithAlgorithm(%q): empty algorithm name", name))
+			return
+		}
+		c.algorithm = name
+	}
+}
+
+// resolveAlgorithm turns the configured name into the initial Algorithm
+// instance: Algorithm 1 with the configured γ by default, or any
+// registered built-in by name.
+func (c *wireConfig) resolveAlgorithm() (Algorithm, error) {
+	if c.algorithm == "" || c.algorithm == "tstorm" {
+		return core.NewTrafficAware(c.gamma), nil
+	}
+	r := scheduler.NewRegistry()
+	scheduler.RegisterBuiltins(r)
+	a, ok := r.Get(c.algorithm)
+	if !ok {
+		return nil, fmt.Errorf("tstorm: WithAlgorithm(%q): unknown algorithm (have \"tstorm\" and %v)", c.algorithm, r.Names())
+	}
+	return a, nil
+}
+
+// ensureTStorm guarantees Algorithm 1 stays hot-swappable by name even
+// when the stack was wired onto a different initial algorithm.
+func ensureTStorm(r *scheduler.Registry, gamma float64) {
+	if _, ok := r.Get("tstorm"); !ok {
+		r.Register(core.NewTrafficAware(gamma))
 	}
 }
 
@@ -508,6 +538,11 @@ func Wire(backend Backend, opts ...Option) (*Stack, error) {
 		return nil, cfg.err
 	}
 
+	algo, err := cfg.resolveAlgorithm()
+	if err != nil {
+		return nil, err
+	}
+
 	db := loaddb.New(0.5)
 	switch be := backend.(type) {
 	case *Runtime:
@@ -525,11 +560,12 @@ func Wire(backend Backend, opts ...Option) (*Stack, error) {
 			hist = decision.NewHistory(cfg.decisionHistory)
 			gcfg.History = hist
 		}
-		gen, err := core.StartGenerator(be, db, gcfg, core.NewTrafficAware(cfg.gamma))
+		gen, err := core.StartGenerator(be, db, gcfg, algo)
 		if err != nil {
 			fleet.Stop()
 			return nil, err
 		}
+		ensureTStorm(gen.Registry(), cfg.gamma)
 		cs := core.StartCustomScheduler(be, core.DefaultFetchPeriod)
 		return &Stack{DB: db, Monitors: fleet, Generator: gen, Scheduler: cs, Decisions: hist, pprof: cfg.pprof}, nil
 
@@ -556,11 +592,12 @@ func Wire(backend Backend, opts ...Option) (*Stack, error) {
 			hist = decision.NewHistory(cfg.decisionHistory)
 			lcfg.History = hist
 		}
-		gen, err := live.StartGenerator(be, db, lcfg, core.NewTrafficAware(cfg.gamma))
+		gen, err := live.StartGenerator(be, db, lcfg, algo)
 		if err != nil {
 			mon.Stop()
 			return nil, err
 		}
+		ensureTStorm(gen.Registry(), cfg.gamma)
 		sup := live.StartSupervisor(be, 0)
 		return &Stack{DB: db, Engine: be, Monitor: mon, LiveGenerator: gen, Supervisor: sup, Decisions: hist, pprof: cfg.pprof}, nil
 
@@ -584,10 +621,11 @@ func Wire(backend Backend, opts ...Option) (*Stack, error) {
 			hist = decision.NewHistory(cfg.decisionHistory)
 			lcfg.History = hist
 		}
-		gen, err := live.StartGenerator(be, db, lcfg, core.NewTrafficAware(cfg.gamma))
+		gen, err := live.StartGenerator(be, db, lcfg, algo)
 		if err != nil {
 			return nil, err
 		}
+		ensureTStorm(gen.Registry(), cfg.gamma)
 		return &Stack{DB: db, Dist: be, LiveGenerator: gen, Decisions: hist, pprof: cfg.pprof}, nil
 
 	default:
