@@ -6,6 +6,11 @@
 # even when the package list or cache state changes.
 # The telemetry scrape-under-churn stress runs the same way: every /metrics
 # handler read races live emissions and Apply re-assignments.
+# The health-under-churn stress adds the observability layer to that mix:
+# a 2 ms sampler feeds the single-writer tsdb rings and the SLO engine
+# while scrapers read /metrics, /debug/timeseries, and /debug/health and
+# Apply flips the placement — the lock-free ring reader/writer claims
+# only hold if this stays clean under the race detector.
 # The chaos matrix (worker crashes, crash-during-migration, node failure →
 # reschedule) runs twice under the race detector: fault injection +
 # supervised restart are timing-sensitive, and each test asserts
@@ -42,7 +47,7 @@ test -z "$(gofmt -l .)"
 go build ./...
 go vet ./...
 go test -race -count=1 -run 'TestRoutingSnapshotStress|TestRouteObservesSinglePlacement|TestEmissionsFlowWhileEngineLockHeld|TestMonitorStopConcurrent' ./internal/live
-go test -race -count=1 -run 'TestScrapeUnderChurnStress' ./internal/telemetry
+go test -race -count=1 -run 'TestScrapeUnderChurnStress|TestHealthUnderChurnStress' ./internal/telemetry
 go test -race -count=2 -run 'TestChaos|TestReliabilityParityShape' ./internal/live
 go test -race -count=1 -run 'TestDistributed|TestStaleGen' ./internal/dist
 go test -count=1 -run '^$' -bench BenchmarkEmit -benchmem ./internal/live |

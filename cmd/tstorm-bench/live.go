@@ -14,12 +14,14 @@ import (
 	"tstorm/internal/core"
 	"tstorm/internal/decision"
 	"tstorm/internal/docstore"
+	"tstorm/internal/health"
 	"tstorm/internal/live"
 	"tstorm/internal/loaddb"
 	"tstorm/internal/scheduler"
 	"tstorm/internal/telemetry"
 	"tstorm/internal/topology"
 	"tstorm/internal/trace"
+	"tstorm/internal/tsdb"
 	"tstorm/internal/workloads"
 )
 
@@ -57,6 +59,25 @@ type telemetryOverhead struct {
 	// noise) means scraping does not tax the emission path.
 	DeltaFraction float64 `json:"delta_fraction"`
 	ScrapeHz      float64 `json:"scrape_hz"`
+}
+
+// healthOverhead records the health-sampler on vs off throughput
+// comparison: a back-to-back pair of default runs where the on side runs
+// the full observability layer — ring-buffer tsdb, collector over the
+// engine taps, and the SLO rule engine — on a SampleEvery cadence. The
+// cadence is 10× faster than production's 1 s default so the sampler's
+// cost is amplified above run noise; if even that stays inside the
+// budget, the production cadence trivially does.
+type healthOverhead struct {
+	Scheduler       string  `json:"scheduler"`
+	OffTuplesPerSec float64 `json:"off_tuples_per_sec"`
+	OnTuplesPerSec  float64 `json:"on_tuples_per_sec"`
+	// DeltaFraction is (on − off) / off; the acceptance budget allows a
+	// slowdown of at most BudgetFraction.
+	DeltaFraction  float64 `json:"delta_fraction"`
+	SampleEveryMs  float64 `json:"sample_every_ms"`
+	BudgetFraction float64 `json:"budget_fraction"`
+	WithinBudget   bool    `json:"within_budget"`
 }
 
 // decisionOverhead records the decision-recording on vs off throughput
@@ -130,6 +151,8 @@ type liveReport struct {
 	Recovery *recoveryRun `json:"recovery,omitempty"`
 	// Telemetry is the scrape-overhead comparison (nil without -json).
 	Telemetry *telemetryOverhead `json:"telemetry_overhead,omitempty"`
+	// Health is the health-sampler overhead comparison, written by -health.
+	Health *healthOverhead `json:"health_overhead,omitempty"`
 	// Decision is the decision-recording overhead comparison.
 	Decision *decisionOverhead `json:"decision_overhead,omitempty"`
 	// Distributed is the multi-process (loopback TCP) phase, written by
@@ -162,7 +185,7 @@ const lockContentionNote = "per-emission routing is lock-free: emitters read an 
 // observability endpoints on that address for the duration of each run;
 // the scrape-overhead comparison runs afterwards on its own ephemeral
 // server.
-func runLive(duration time.Duration, seed uint64, jsonPath, telemetryAddr string) error {
+func runLive(duration time.Duration, seed uint64, jsonPath, telemetryAddr string, healthOn bool) error {
 	if duration <= 0 {
 		duration = 3 * time.Second
 	}
@@ -170,7 +193,7 @@ func runLive(duration time.Duration, seed uint64, jsonPath, telemetryAddr string
 
 	var runs []liveRun
 	for _, sched := range []string{"default", "tstorm"} {
-		run, err := liveOnce(sched, duration, seed, telemetryAddr, 0, nil)
+		run, err := liveOnce(sched, duration, seed, telemetryAddr, 0, nil, 0)
 		if err != nil {
 			return fmt.Errorf("live %s run: %w", sched, err)
 		}
@@ -208,11 +231,11 @@ func runLive(duration time.Duration, seed uint64, jsonPath, telemetryAddr string
 	// separate runs can get — comparing against the benchmark's first run
 	// would mostly measure run-ordering effects.
 	const scrapeHz = 1.0
-	offRun, err := liveOnce("default", duration, seed, "", 0, nil)
+	offRun, err := liveOnce("default", duration, seed, "", 0, nil, 0)
 	if err != nil {
 		return fmt.Errorf("live telemetry-off run: %w", err)
 	}
-	onRun, err := liveOnce("default", duration, seed, "127.0.0.1:0", scrapeHz, nil)
+	onRun, err := liveOnce("default", duration, seed, "127.0.0.1:0", scrapeHz, nil, 0)
 	if err != nil {
 		return fmt.Errorf("live telemetry-on run: %w", err)
 	}
@@ -228,6 +251,43 @@ func runLive(duration time.Duration, seed uint64, jsonPath, telemetryAddr string
 	fmt.Printf("telemetry overhead (1 Hz scrape): %.0f → %.0f tuples/s (%+.1f%%)\n",
 		report.Telemetry.OffTuplesPerSec, report.Telemetry.OnTuplesPerSec,
 		100*report.Telemetry.DeltaFraction)
+
+	// Health-sampler overhead (-health): another back-to-back off/on pair
+	// where the on run carries the full observability layer sampling at
+	// 10× the production cadence. The ≤3% budget is the acceptance gate
+	// for the "sampling stays out of the hot path" claim.
+	if healthOn {
+		const (
+			sampleEvery  = 100 * time.Millisecond
+			healthBudget = 0.03
+		)
+		hOff, err := liveOnce("default", duration, seed, "", 0, nil, 0)
+		if err != nil {
+			return fmt.Errorf("live health-off run: %w", err)
+		}
+		hOn, err := liveOnce("default", duration, seed, "", 0, nil, sampleEvery)
+		if err != nil {
+			return fmt.Errorf("live health-on run: %w", err)
+		}
+		report.Health = &healthOverhead{
+			Scheduler:       "default",
+			OffTuplesPerSec: hOff.TuplesPerSec,
+			OnTuplesPerSec:  hOn.TuplesPerSec,
+			SampleEveryMs:   float64(sampleEvery) / float64(time.Millisecond),
+			BudgetFraction:  healthBudget,
+		}
+		if hOff.TuplesPerSec > 0 {
+			report.Health.DeltaFraction = hOn.TuplesPerSec/hOff.TuplesPerSec - 1
+		}
+		report.Health.WithinBudget = report.Health.DeltaFraction >= -healthBudget
+		verdict := "within"
+		if !report.Health.WithinBudget {
+			verdict = "OVER"
+		}
+		fmt.Printf("health-sampler overhead (%.0f ms cadence): %.0f → %.0f tuples/s (%+.1f%%, %s the %.0f%% budget)\n",
+			report.Health.SampleEveryMs, report.Health.OffTuplesPerSec, report.Health.OnTuplesPerSec,
+			100*report.Health.DeltaFraction, verdict, 100*healthBudget)
+	}
 
 	// Decision-recording overhead: alternating windows inside one
 	// steady-state tstorm run (see decisionOverhead).
@@ -327,8 +387,10 @@ func scrapeLoop(url string, hz float64, stop <-chan struct{}) {
 // non-empty, serves the telemetry endpoints for the run's duration;
 // scrapeHz > 0 additionally polls /metrics at that rate; hist, when
 // non-nil, records every scheduling round's decision report (tstorm
-// runs only — the baselines never invoke the generator).
-func liveOnce(sched string, measure time.Duration, seed uint64, telemetryAddr string, scrapeHz float64, hist *decision.History) (liveRun, error) {
+// runs only — the baselines never invoke the generator); healthEvery > 0
+// attaches the full observability layer (tsdb collector + SLO engine)
+// sampling at that cadence for the run's duration.
+func liveOnce(sched string, measure time.Duration, seed uint64, telemetryAddr string, scrapeHz float64, hist *decision.History, healthEvery time.Duration) (liveRun, error) {
 	cl, err := cluster.Uniform(4, 4, 2000, 4)
 	if err != nil {
 		return liveRun{}, err
@@ -408,6 +470,27 @@ func liveOnce(sched string, measure time.Duration, seed uint64, telemetryAddr st
 			defer close(stopScrape)
 			go scrapeLoop("http://"+srv.Addr()+"/metrics", scrapeHz, stopScrape)
 		}
+	}
+
+	if healthEvery > 0 {
+		// The same wiring tstorm.WithHealth performs: ring-buffer series
+		// fed by a collector over the engine taps, evaluated by the
+		// standard SLO rules on every tick. The sampler runs through the
+		// warm-up and the whole measured window.
+		db := tsdb.NewDB(0)
+		col := health.NewCollector(db, health.Sources{
+			Totals:            eng.Totals,
+			PendingRoots:      eng.PendingRoots,
+			QueueSaturation:   func() (float64, int) { return eng.QueueSaturation(0.8) },
+			CompletionLatency: eng.CompletionLatencySnapshot,
+		})
+		heng := health.New(health.StandardRules(db, health.RuleOptions{}), lcfg.Trace)
+		smp := tsdb.NewSampler(healthEvery, func(now time.Time) {
+			col.Collect(now)
+			heng.Evaluate(now)
+		})
+		smp.Start()
+		defer smp.Stop()
 	}
 
 	poller := startPeakPoller(eng)

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	tstorm-bench [-fig 5] [-duration 1000s] [-seed 1] [-csv dir]
-//	tstorm-bench -live [-duration 3s] [-json BENCH_live.json] [-telemetry addr]
+//	tstorm-bench -live [-duration 3s] [-json BENCH_live.json] [-telemetry addr] [-health]
 //	tstorm-bench -backend dist [-duration 3s] [-json BENCH_live.json]
 //	tstorm-bench -arena [-duration 2s] [-json BENCH_live.json]
 //
@@ -16,7 +16,10 @@
 // inter-node traffic; -json writes the results as a JSON report including
 // a telemetry-on vs telemetry-off throughput comparison. With -telemetry
 // the observability endpoints are additionally served on the given
-// address for the duration of each run. With -backend dist the benchmark
+// address for the duration of each run. With -health a further off/on
+// pair measures what the health sampler (tsdb collector + SLO engine on
+// a 100 ms cadence, 10× production) costs the pipeline, against a 3%
+// budget; -json records it as a "health_overhead" section. With -backend dist the benchmark
 // instead runs on the multi-process backend: real worker processes
 // (this binary re-executed) exchanging tuples over loopback TCP, with a
 // kill -9 recovery phase; -json merges a "distributed" section into the
@@ -55,6 +58,7 @@ func main() {
 	backend := flag.String("backend", "live", "execution backend for the live benchmark: live (in-process goroutines) or dist (real worker processes on loopback TCP)")
 	jsonPath := flag.String("json", "", "path to write the live benchmark report as JSON (with -live or -arena)")
 	telemetryAddr := flag.String("telemetry", "", "serve /metrics, /debug/placement, /debug/trace on this address during -live runs (e.g. 127.0.0.1:9090)")
+	healthMode := flag.Bool("health", false, "with -live: additionally measure the health-sampler overhead (observability layer on vs off, 3% budget)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile (all allocs since start) to this file at exit")
 	flag.Parse()
@@ -98,7 +102,7 @@ func main() {
 	case *arenaMode:
 		err = runArena(*duration, *seed, *jsonPath)
 	case *liveMode:
-		err = runLive(*duration, *seed, *jsonPath, *telemetryAddr)
+		err = runLive(*duration, *seed, *jsonPath, *telemetryAddr, *healthMode)
 	default:
 		err = run(*fig, *duration, *seed, *csvDir)
 	}

@@ -1,0 +1,98 @@
+// Command tstorm-top is a polling terminal dashboard over a running
+// tstorm stack's telemetry server (live or distributed — any stack wired
+// tstorm.WithHealth and serving StartTelemetry). Each refresh scrapes
+// /debug/timeseries, /debug/health, and /debug/workers, then redraws a
+// fleet panel: throughput / completion-p99 / inter-node-fraction
+// sparklines over the retained series, queue depths, the SLO engine's
+// per-rule verdicts, and the worker-process table on the distributed
+// backend. Endpoints that are not enabled on the target (404) simply
+// drop their panel, so the tool degrades gracefully against any stack.
+//
+// Usage:
+//
+//	tstorm-top -addr 127.0.0.1:9090
+//	tstorm-top -addr 127.0.0.1:9090 -every 2s -window 2m
+//	tstorm-top -addr 127.0.0.1:9090 -once   # one frame, no redraw loop
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9090", "telemetry server address (host:port)")
+	every := flag.Duration("every", time.Second, "refresh period")
+	window := flag.Duration("window", time.Minute, "sparkline window over the retained series")
+	once := flag.Bool("once", false, "render a single frame and exit (no screen clearing)")
+	flag.Parse()
+
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	for {
+		f, err := fetchFrame(client, base, *window)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tstorm-top: %v\n", err)
+			os.Exit(1)
+		}
+		if !*once {
+			// Home the cursor and clear: a full-screen redraw per frame.
+			fmt.Print("\x1b[H\x1b[2J")
+		}
+		renderFrame(os.Stdout, f)
+		if *once {
+			return
+		}
+		time.Sleep(*every)
+	}
+}
+
+// getJSON decodes url into v. found=false (with nil error) means the
+// endpoint answered 404 — not enabled on this stack.
+func getJSON(client *http.Client, url string, v any) (found bool, err error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		return false, fmt.Errorf("%s: %v", url, err)
+	}
+	return true, nil
+}
+
+// fetchFrame scrapes one dashboard frame from the telemetry server.
+func fetchFrame(client *http.Client, base string, window time.Duration) (*frame, error) {
+	f := &frame{Addr: base, Window: window, Now: time.Now()}
+	found, err := getJSON(client, fmt.Sprintf("%s/debug/timeseries?window=%s", base, window), &f.TS)
+	if err != nil {
+		return nil, err
+	}
+	f.HasTS = found
+	if found {
+		f.Now = f.TS.Now
+	}
+	if found, err = getJSON(client, base+"/debug/health", &f.Health); err != nil {
+		return nil, err
+	}
+	f.HasHealth = found
+	if found, err = getJSON(client, base+"/debug/workers", &f.Workers); err != nil {
+		return nil, err
+	}
+	f.HasWorkers = found
+	return f, nil
+}

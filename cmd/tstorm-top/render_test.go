@@ -1,0 +1,121 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSparklineShape(t *testing.T) {
+	if got := sparkline(nil, 10); got != "" {
+		t.Errorf("empty series rendered %q", got)
+	}
+	// A flat series stays at the lowest level.
+	if got := sparkline([]float64{5, 5, 5}, 10); got != "▁▁▁" {
+		t.Errorf("flat series = %q, want three low cells", got)
+	}
+	// A ramp hits the lowest and highest levels at its ends.
+	got := []rune(sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 10))
+	if got[0] != '▁' || got[len(got)-1] != '█' {
+		t.Errorf("ramp = %q, want ▁..█", string(got))
+	}
+	// Wider than the budget keeps the newest values.
+	if got := sparkline([]float64{9, 9, 9, 0, 0}, 2); got != "▁▁" {
+		t.Errorf("truncated series = %q, want the last two values", got)
+	}
+}
+
+func TestRatesFromCounter(t *testing.T) {
+	sec := int64(time.Second)
+	pts := []point{{T: 0, V: 0}, {T: sec, V: 100}, {T: 2 * sec, V: 300}, {T: 3 * sec, V: 250}}
+	got := rates(pts)
+	want := []float64{100, 200, 0} // counter reset clamps to zero
+	if len(got) != len(want) {
+		t.Fatalf("rates = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("rates[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if rates(pts[:1]) != nil {
+		t.Error("single point should produce no rates")
+	}
+}
+
+// TestRenderFrame pins the panel structure: header with overall level,
+// sparkline rows for present series only, the per-rule health table, and
+// the worker table sorted by slot.
+func TestRenderFrame(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 10, 0, time.UTC)
+	sec := int64(time.Second)
+	f := &frame{
+		Addr:   "http://127.0.0.1:9090",
+		Window: time.Minute,
+		Now:    now,
+		HasTS:  true,
+		TS: tsDoc{
+			Now: now,
+			Series: []tsSeries{
+				{Name: "sink_processed_total", Kind: "counter", Points: []point{
+					{T: 0, V: 0}, {T: sec, V: 1000}, {T: 2 * sec, V: 2000},
+				}},
+				{Name: "queue_saturation", Kind: "gauge", Points: []point{
+					{T: sec, V: 0.25}, {T: 2 * sec, V: 0.5},
+				}},
+			},
+		},
+		HasHealth: true,
+		Health: healthDoc{
+			Overall: "degraded", Evals: 42, Transitions: 3,
+			Rules: []ruleDoc{
+				{Rule: "throughput-floor", Level: "degraded", Value: 480, Unit: "roots/s",
+					HasValue: true, Baseline: 1000, HasBaseline: true,
+					Since: now.Add(-5 * time.Second), Transitions: 1},
+				{Rule: "queue-saturation", Level: "ok", Value: 0.5, HasValue: true},
+			},
+		},
+		HasWorkers: true,
+		Workers: workersDoc{
+			Alive: 1,
+			Workers: []workerDoc{
+				{PID: 222, Alive: false, Restarts: 2},
+				{PID: 111, Alive: true, Pending: 7},
+			},
+		},
+	}
+	f.Workers.Workers[0].Slot.Node = "node02"
+	f.Workers.Workers[0].Slot.Port = 6700
+	f.Workers.Workers[1].Slot.Node = "node01"
+	f.Workers.Workers[1].Slot.Port = 6701
+
+	var b strings.Builder
+	renderFrame(&b, f)
+	out := b.String()
+
+	for _, want := range []string{
+		"overall=DEGRADED",
+		"throughput",    // counter row present
+		"1000 tuples/s", // newest rate
+		"queue saturation",
+		"! degraded  throughput-floor",
+		"base=1000",
+		"for 5s",
+		"queue-saturation",
+		"workers  1/2 alive",
+		"node02:6700  DOWN",
+		"pending=7",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("frame missing %q:\n%s", want, out)
+		}
+	}
+	// Absent series render no row.
+	if strings.Contains(out, "heartbeat age") {
+		t.Errorf("frame has a row for an absent series:\n%s", out)
+	}
+	// node01 sorts before node02.
+	if strings.Index(out, "node01") > strings.Index(out, "node02") {
+		t.Errorf("workers not sorted by slot:\n%s", out)
+	}
+}

@@ -82,7 +82,8 @@ func main() {
 	stack, err := tstorm.Wire(eng,
 		tstorm.WithMonitorPeriod(250*time.Millisecond),
 		tstorm.WithGeneratePeriod(time.Hour),
-		tstorm.WithDecisionHistory(8))
+		tstorm.WithDecisionHistory(8),
+		tstorm.WithHealth())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -95,7 +96,8 @@ func main() {
 	defer srv.Close()
 
 	fmt.Println("live Word Count on 4 emulated nodes, real goroutine executors")
-	fmt.Printf("  telemetry: http://%s/metrics  /debug/placement  /debug/trace  /debug/scheduler\n", srv.Addr())
+	fmt.Printf("  telemetry: http://%s/metrics  /debug/placement  /debug/trace  /debug/scheduler  /debug/health  /debug/timeseries\n", srv.Addr())
+	fmt.Printf("  dashboard: go run ./cmd/tstorm-top -addr %s\n", srv.Addr())
 
 	measure := func(label string) tstorm.LiveTotals {
 		time.Sleep(time.Second) // settle
@@ -171,6 +173,17 @@ func main() {
 		if strings.HasPrefix(line, "tstorm_engine_") || strings.HasPrefix(line, "tstorm_monitor_") {
 			fmt.Println("    " + line)
 		}
+	}
+
+	// The SLO engine's verdict over the retained series (WithHealth): the
+	// same panel tstorm-top refreshes.
+	healthPanel, err := fetch(srv.Addr(), "/debug/health?format=text")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n  health verdict from /debug/health:")
+	for _, line := range strings.Split(strings.TrimSpace(healthPanel), "\n") {
+		fmt.Println("    " + line)
 	}
 
 	gain := float64(after.Processed)/float64(before.Processed) - 1

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"os"
 	"os/exec"
 	"sort"
 	"sync"
@@ -14,6 +15,7 @@ import (
 	"tstorm/internal/coord"
 	"tstorm/internal/engine"
 	"tstorm/internal/live"
+	"tstorm/internal/logx"
 	"tstorm/internal/trace"
 	"tstorm/internal/tracing"
 )
@@ -64,6 +66,11 @@ type Config struct {
 	// publishes, applies). Nil disables tracing.
 	Trace *trace.Recorder
 
+	// Log receives the driver's structured operational log (worker spawn
+	// failures, respawns). Defaults to stderr at the level named by
+	// TSTORM_LOG (info when unset); use logx.Nop() to silence.
+	Log *logx.Logger
+
 	// TraceSampling samples 1-in-N tuple trees for end-to-end tracing (a
 	// power of two; 0 disables). Workers record spans and ship them with
 	// heartbeats; the driver's collector assembles the trees.
@@ -110,6 +117,9 @@ func (c *Config) fillDefaults() {
 	if c.BackoffCap <= 0 {
 		c.BackoffCap = DefaultBackoffCap
 	}
+	if c.Log == nil {
+		c.Log = logx.New(os.Stderr, logx.ParseLevel(os.Getenv(EnvLogLevel)))
+	}
 }
 
 // workerHandle is the driver's record of one slot's worker process across
@@ -128,6 +138,9 @@ type workerHandle struct {
 	lastTotals  live.Totals
 	lastAudits  []auditEntry
 	lastPending int64
+	// lastBeat is when the current incarnation last reported status —
+	// the liveness signal health rules and /debug/workers age against.
+	lastBeat time.Time
 }
 
 func (h *workerHandle) setProcess(cmd *exec.Cmd) {
@@ -173,6 +186,7 @@ func (h *workerHandle) storeStatus(m *msg) {
 	}
 	h.lastAudits = m.Audits
 	h.lastPending = m.Pending
+	h.lastBeat = time.Now()
 	h.mu.Unlock()
 }
 
@@ -688,6 +702,29 @@ func (e *Engine) Totals() live.Totals {
 	return sum
 }
 
+// CachedTotals aggregates fleet counters from the last heartbeats alone —
+// no per-worker RPC, so it is cheap enough for a 1 s sampler and never
+// blocks on a sick worker. Staleness is bounded by the heartbeat period.
+func (e *Engine) CachedTotals() live.Totals {
+	e.mu.Lock()
+	sum := e.retired
+	e.mu.Unlock()
+	for _, slot := range e.orderedSlots() {
+		h := e.handleFor(slot)
+		if h == nil {
+			continue
+		}
+		h.mu.Lock()
+		sum = addTotals(sum, h.lastTotals)
+		h.mu.Unlock()
+	}
+	sum.Migrations = e.migrations.Load()
+	sum.Applies = e.applies.Load()
+	sum.WorkerCrashes += e.procCrashes.Load()
+	sum.WorkerRestarts += e.procRestarts.Load()
+	return sum
+}
+
 // Audit sums a topology's worker-reported at-least-once gauges (workers
 // hosting none of its spouts contribute zeros) plus retired incarnations.
 func (e *Engine) Audit(name string) (acked, outstanding, restarts int) {
@@ -827,6 +864,9 @@ type WorkerStatus struct {
 	Restarts int            `json:"restarts"`
 	DataAddr string         `json:"data_addr"`
 	Pending  int64          `json:"pending"`
+	// LastBeat is when the current incarnation last reported status
+	// (zero before its first heartbeat).
+	LastBeat time.Time `json:"last_beat,omitempty"`
 }
 
 // Workers snapshots every slot's process state, in slot order.
@@ -845,6 +885,7 @@ func (e *Engine) Workers() []WorkerStatus {
 			Restarts: h.restarts,
 			DataAddr: h.dataAddr,
 			Pending:  h.lastPending,
+			LastBeat: h.lastBeat,
 		})
 		h.mu.Unlock()
 	}

@@ -53,6 +53,10 @@ const (
 	// EnvSlotNode and EnvSlotPort name the cluster slot this worker owns.
 	EnvSlotNode = "TSTORM_DIST_SLOT_NODE"
 	EnvSlotPort = "TSTORM_DIST_SLOT_PORT"
+	// EnvLogLevel sets the worker's structured-log threshold
+	// (debug|info|warn|error|off, default info). The driver propagates
+	// its own level here on spawn.
+	EnvLogLevel = "TSTORM_LOG"
 )
 
 // Control-message types. The control plane is JSON lines: one msg object

@@ -62,6 +62,7 @@ func (e *Engine) History() []RestartRecord {
 // superviseSlot is the per-slot supervision loop.
 func (e *Engine) superviseSlot(h *workerHandle) {
 	defer e.wg.Done()
+	wlog := e.cfg.Log.With("worker", h.slot.String())
 	crashes := 0
 	var lastCrash time.Time
 	for {
@@ -96,6 +97,7 @@ func (e *Engine) superviseSlot(h *workerHandle) {
 			// Spawn failures (fd exhaustion and friends) retry on the same
 			// backoff schedule as crashes.
 			e.emitTrace(trace.WorkerCrashed, "", h.slot.String(), fmt.Sprintf("spawn failed: %v", err))
+			wlog.Errorf("spawn failed: %v", err)
 			lastCrash = time.Now()
 			crashes++
 			continue
@@ -115,6 +117,7 @@ func (e *Engine) superviseSlot(h *workerHandle) {
 			e.histMu.Unlock()
 			e.emitTrace(trace.WorkerRestarted, "", h.slot.String(),
 				fmt.Sprintf("worker respawned pid %d (attempt %d, waited %s)", cmd.Process.Pid, crashes, rec.Waited.Round(time.Millisecond)))
+			wlog.Infof("respawned pid=%d attempt=%d waited=%s", cmd.Process.Pid, crashes, rec.Waited.Round(time.Millisecond))
 		} else {
 			e.emitTrace(trace.WorkerStarted, "", h.slot.String(), fmt.Sprintf("worker pid %d", cmd.Process.Pid))
 		}
@@ -127,6 +130,7 @@ func (e *Engine) superviseSlot(h *workerHandle) {
 		}
 		e.emitTrace(trace.WorkerCrashed, "", h.slot.String(),
 			fmt.Sprintf("worker process exited; respawn in %s", e.Backoff(crashes-1)))
+		wlog.Warnf("worker process exited; respawn in %s", e.Backoff(crashes-1))
 	}
 }
 

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
 	"net"
 	"os"
 	"sort"
@@ -16,6 +15,7 @@ import (
 	"tstorm/internal/cluster"
 	"tstorm/internal/live"
 	"tstorm/internal/loaddb"
+	"tstorm/internal/logx"
 	"tstorm/internal/topology"
 )
 
@@ -36,9 +36,14 @@ func RunWorkerIfChild() {
 // restricted to its slot, peers for the data plane, and the control
 // connection back to the driver.
 type worker struct {
-	slot   cluster.SlotID
-	ctrl   *lineConn
-	logger *log.Logger
+	slot cluster.SlotID
+	ctrl *lineConn
+	// baseLog carries the worker= field; logv holds the current logger
+	// (baseLog plus a gen= field once a generation is known) — an atomic
+	// pointer because the data-plane, control, and heartbeat goroutines
+	// all log.
+	baseLog *logx.Logger
+	logv    atomic.Pointer[logx.Logger]
 
 	dataLn net.Listener
 	peers  *peerSet
@@ -59,21 +64,23 @@ type worker struct {
 }
 
 func workerMain(ctrlAddr string) int {
+	base := logx.New(os.Stderr, logx.ParseLevel(os.Getenv(EnvLogLevel)))
 	port, err := strconv.Atoi(os.Getenv(EnvSlotPort))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "dist worker: bad %s: %v\n", EnvSlotPort, err)
+		base.Errorf("bad %s: %v", EnvSlotPort, err)
 		return 2
 	}
 	slot := cluster.SlotID{Node: cluster.NodeID(os.Getenv(EnvSlotNode)), Port: port}
 	w := &worker{
-		slot:   slot,
-		logger: log.New(os.Stderr, fmt.Sprintf("[worker %s] ", slot), log.Ltime|log.Lmicroseconds),
-		audits: make(map[string]AuditFn),
+		slot:    slot,
+		baseLog: base.With("worker", slot.String()),
+		audits:  make(map[string]AuditFn),
 	}
+	w.logv.Store(w.baseLog)
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		w.logger.Printf("data listen: %v", err)
+		w.log().Errorf("data listen: %v", err)
 		return 2
 	}
 	defer ln.Close()
@@ -89,7 +96,7 @@ func workerMain(ctrlAddr string) int {
 			break
 		}
 		if attempt >= 9 {
-			w.logger.Printf("control dial %s: %v", ctrlAddr, err)
+			w.log().Errorf("control dial %s: %v", ctrlAddr, err)
 			return 2
 		}
 		time.Sleep(100 * time.Millisecond)
@@ -103,13 +110,24 @@ func workerMain(ctrlAddr string) int {
 		DataAddr: ln.Addr().String(),
 		PID:      os.Getpid(),
 	}); err != nil {
-		w.logger.Printf("register: %v", err)
+		w.log().Errorf("register: %v", err)
 		return 2
 	}
 
 	code := w.controlLoop()
 	w.shutdown()
 	return code
+}
+
+// log returns the current structured logger (worker and generation
+// fields bound).
+func (w *worker) log() *logx.Logger { return w.logv.Load() }
+
+// setGen rebinds the logger's gen= field when the assignment generation
+// advances, so every subsequent line attributes itself to the schedule
+// it ran under.
+func (w *worker) setGen(gen uint32) {
+	w.logv.Store(w.baseLog.With("gen", strconv.FormatUint(uint64(gen), 10)))
 }
 
 // controlLoop processes driver messages serially until stop or the
@@ -119,7 +137,7 @@ func (w *worker) controlLoop() int {
 		m, err := w.ctrl.recv()
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				w.logger.Printf("control connection lost: %v", err)
+				w.log().Warnf("control connection lost: %v", err)
 			}
 			return 0
 		}
@@ -129,7 +147,7 @@ func (w *worker) controlLoop() int {
 			reply := &msg{Type: msgReply, ID: m.ID, OK: err == nil}
 			if err != nil {
 				reply.Err = err.Error()
-				w.logger.Printf("configure: %v", err)
+				w.log().Errorf("configure: %v", err)
 			}
 			w.ctrl.send(reply)
 		case msgPeers:
@@ -158,6 +176,7 @@ func (w *worker) controlLoop() int {
 				// Stamp subsequent sends with the new generation only after
 				// the new routing table is in place.
 				w.peers.gen.Store(m.Gen)
+				w.setGen(m.Gen)
 			}
 			w.ctrl.send(reply)
 		case msgPending:
@@ -181,7 +200,7 @@ func (w *worker) controlLoop() int {
 			w.ctrl.send(&msg{Type: msgReply, ID: m.ID, OK: true})
 			return 0
 		default:
-			w.logger.Printf("unknown control message %q", m.Type)
+			w.log().Warnf("unknown control message %q", m.Type)
 		}
 	}
 }
@@ -254,6 +273,7 @@ func (w *worker) peersUpdate(m *msg) {
 	w.peers.update(m.Peers)
 	if m.Gen != 0 {
 		w.peers.gen.Store(m.Gen)
+		w.setGen(m.Gen)
 	}
 }
 
@@ -329,12 +349,12 @@ func (w *worker) handleData(c net.Conn) {
 		gen, hops, frame, err := readWireFrame(r)
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				w.logger.Printf("data connection from %s dropped: %v", c.RemoteAddr(), err)
+				w.log().Warnf("data connection from %s dropped: %v", c.RemoteAddr(), err)
 			}
 			return
 		}
 		if err := w.handleFrame(gen, hops, frame); err != nil {
-			w.logger.Printf("malformed frame from %s: %v — closing connection", c.RemoteAddr(), err)
+			w.log().Errorf("malformed frame from %s: %v — closing connection", c.RemoteAddr(), err)
 			return
 		}
 	}
@@ -356,7 +376,7 @@ func (w *worker) handleFrame(gen uint32, hops byte, frame []byte) error {
 				w.forwarded.Add(1)
 			} else {
 				w.forwardDrops.Add(1)
-				w.logger.Printf("frame for %s undeliverable (hops exhausted)", nl.Slot)
+				w.log().Warnf("frame for %s undeliverable (hops exhausted)", nl.Slot)
 			}
 			return nil
 		}
@@ -377,7 +397,7 @@ func (w *worker) shutdown() {
 	}
 	w.dataLn.Close()
 	if n := w.forwardDrops.Load(); n > 0 {
-		w.logger.Printf("%d frames dropped with hops exhausted", n)
+		w.log().Warnf("%d frames dropped with hops exhausted", n)
 	}
 }
 

@@ -8,8 +8,6 @@ package dist
 // generation accounting or forwarding.
 
 import (
-	"log"
-	"os"
 	"sync"
 	"testing"
 	"time"
@@ -17,6 +15,7 @@ import (
 	"tstorm/internal/cluster"
 	"tstorm/internal/engine"
 	"tstorm/internal/live"
+	"tstorm/internal/logx"
 	"tstorm/internal/topology"
 	"tstorm/internal/tuple"
 )
@@ -133,11 +132,12 @@ func TestStaleGenTracedFrameCountedAndDelivered(t *testing.T) {
 	// at generation 5.
 	recv := staleTestEngine(t, cl, staleTestApp(t), a, boltSlot, &captureSink{})
 	w := &worker{
-		slot:   boltSlot,
-		logger: log.New(os.Stderr, "[stale-test] ", 0),
-		peers:  newPeerSet(boltSlot, 3),
-		eng:    recv,
+		slot:    boltSlot,
+		baseLog: logx.Nop(),
+		peers:   newPeerSet(boltSlot, 3),
+		eng:     recv,
 	}
+	w.logv.Store(w.baseLog)
 	w.peers.gen.Store(5)
 
 	before := recv.Totals().Processed

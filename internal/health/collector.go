@@ -1,0 +1,167 @@
+package health
+
+import (
+	"time"
+
+	"tstorm/internal/live"
+	"tstorm/internal/metrics"
+	"tstorm/internal/tsdb"
+)
+
+// Series names the collector writes and the standard rules read. Counter
+// series carry cumulative totals; the rest are instantaneous gauges.
+const (
+	SeriesRootsEmitted    = "roots_emitted_total"
+	SeriesTuplesSent      = "tuples_sent_total"
+	SeriesInterNodeSent   = "inter_node_sent_total"
+	SeriesSinkProcessed   = "sink_processed_total"
+	SeriesAcked           = "acked_total"
+	SeriesFailedRoots     = "failed_roots_total"
+	SeriesReplayed        = "replayed_total"
+	SeriesDropped         = "dropped_total"
+	SeriesPoolHits        = "pool_hits_total"
+	SeriesPoolMisses      = "pool_misses_total"
+	SeriesPendingRoots    = "pending_roots"
+	SeriesMaxQueueDepth   = "max_queue_depth"
+	SeriesQueueSaturation = "queue_saturation"
+	SeriesCompletionP99   = "completion_p99_ms"
+	SeriesRatio           = "predicted_vs_observed_ratio"
+	SeriesWorkersAlive    = "workers_alive"
+	SeriesHeartbeatAge    = "worker_heartbeat_age_seconds"
+	SeriesInterNodeFrac   = "inter_node_fraction"
+)
+
+// Sources are the backend taps a Collector samples. Totals is required;
+// every other func may be nil, in which case the corresponding series is
+// never written and rules over it report "no data" and stay put.
+type Sources struct {
+	// Totals snapshots the engine's lifetime counters (live.Totals is the
+	// shared shape for both wall-clock backends).
+	Totals func() live.Totals
+	// PendingRoots reports outstanding anchored roots.
+	PendingRoots func() int64
+	// QueueSaturation reports the fraction of bounded executor queues at
+	// or above 80% capacity, plus the deepest queue.
+	QueueSaturation func() (frac float64, maxDepth int)
+	// CompletionLatency returns the cumulative completion-latency
+	// histogram; the collector diffs consecutive snapshots for a
+	// per-window p99.
+	CompletionLatency func() *metrics.Histogram
+	// Ratio reports the scheduler's predicted-vs-observed inter-node
+	// traffic ratio (ok=false before a baseline exists).
+	Ratio func(now time.Time) (float64, bool)
+	// Workers reports process liveness: alive and configured worker
+	// counts plus the age of the oldest live heartbeat (dist backend).
+	Workers func(now time.Time) (alive, total int, oldestBeat time.Duration, ok bool)
+}
+
+// Collector samples backend state into a tsdb.DB. Collect must be called
+// from a single goroutine (the Sampler serializes this).
+type Collector struct {
+	src Sources
+
+	rootsEmitted  *tsdb.Series
+	tuplesSent    *tsdb.Series
+	interNode     *tsdb.Series
+	sinkProcessed *tsdb.Series
+	acked         *tsdb.Series
+	failedRoots   *tsdb.Series
+	replayed      *tsdb.Series
+	dropped       *tsdb.Series
+	poolHits      *tsdb.Series
+	poolMisses    *tsdb.Series
+
+	pendingRoots *tsdb.Series
+	maxQueue     *tsdb.Series
+	queueSat     *tsdb.Series
+	completion   *tsdb.Series
+	ratio        *tsdb.Series
+	workersAlive *tsdb.Series
+	beatAge      *tsdb.Series
+	interFrac    *tsdb.Series
+
+	prevCompletion *metrics.Histogram
+}
+
+// NewCollector registers the series its sources can feed and returns the
+// collector. Pass its Collect to a tsdb.Sampler.
+func NewCollector(db *tsdb.DB, src Sources) *Collector {
+	c := &Collector{src: src}
+	if src.Totals != nil {
+		c.rootsEmitted = db.Register(SeriesRootsEmitted, tsdb.Counter)
+		c.tuplesSent = db.Register(SeriesTuplesSent, tsdb.Counter)
+		c.interNode = db.Register(SeriesInterNodeSent, tsdb.Counter)
+		c.sinkProcessed = db.Register(SeriesSinkProcessed, tsdb.Counter)
+		c.acked = db.Register(SeriesAcked, tsdb.Counter)
+		c.failedRoots = db.Register(SeriesFailedRoots, tsdb.Counter)
+		c.replayed = db.Register(SeriesReplayed, tsdb.Counter)
+		c.dropped = db.Register(SeriesDropped, tsdb.Counter)
+		c.poolHits = db.Register(SeriesPoolHits, tsdb.Counter)
+		c.poolMisses = db.Register(SeriesPoolMisses, tsdb.Counter)
+		c.interFrac = db.Register(SeriesInterNodeFrac, tsdb.Gauge)
+	}
+	if src.PendingRoots != nil {
+		c.pendingRoots = db.Register(SeriesPendingRoots, tsdb.Gauge)
+	}
+	if src.QueueSaturation != nil {
+		c.queueSat = db.Register(SeriesQueueSaturation, tsdb.Gauge)
+		c.maxQueue = db.Register(SeriesMaxQueueDepth, tsdb.Gauge)
+	}
+	if src.CompletionLatency != nil {
+		c.completion = db.Register(SeriesCompletionP99, tsdb.Gauge)
+	}
+	if src.Ratio != nil {
+		c.ratio = db.Register(SeriesRatio, tsdb.Gauge)
+	}
+	if src.Workers != nil {
+		c.workersAlive = db.Register(SeriesWorkersAlive, tsdb.Gauge)
+		c.beatAge = db.Register(SeriesHeartbeatAge, tsdb.Gauge)
+	}
+	return c
+}
+
+// Collect appends one sample per available source, stamped now.
+func (c *Collector) Collect(now time.Time) {
+	ns := now.UnixNano()
+	if c.src.Totals != nil {
+		t := c.src.Totals()
+		c.rootsEmitted.Append(ns, float64(t.RootsEmitted))
+		c.tuplesSent.Append(ns, float64(t.TuplesSent))
+		c.interNode.Append(ns, float64(t.InterNodeSent))
+		c.sinkProcessed.Append(ns, float64(t.SinkProcessed))
+		c.acked.Append(ns, float64(t.Acked))
+		c.failedRoots.Append(ns, float64(t.FailedRoots))
+		c.replayed.Append(ns, float64(t.Replayed))
+		c.dropped.Append(ns, float64(t.Dropped))
+		c.poolHits.Append(ns, float64(t.PoolHits))
+		c.poolMisses.Append(ns, float64(t.PoolMisses))
+		c.interFrac.Append(ns, t.InterNodeFraction())
+	}
+	if c.src.PendingRoots != nil {
+		c.pendingRoots.Append(ns, float64(c.src.PendingRoots()))
+	}
+	if c.src.QueueSaturation != nil {
+		frac, maxDepth := c.src.QueueSaturation()
+		c.queueSat.Append(ns, frac)
+		c.maxQueue.Append(ns, float64(maxDepth))
+	}
+	if c.src.CompletionLatency != nil {
+		cur := c.src.CompletionLatency()
+		win := cur.Sub(c.prevCompletion)
+		c.prevCompletion = cur
+		if win.Count() > 0 {
+			c.completion.Append(ns, win.Quantile(0.99))
+		}
+	}
+	if c.src.Ratio != nil {
+		if r, ok := c.src.Ratio(now); ok {
+			c.ratio.Append(ns, r)
+		}
+	}
+	if c.src.Workers != nil {
+		if alive, _, oldest, ok := c.src.Workers(now); ok {
+			c.workersAlive.Append(ns, float64(alive))
+			c.beatAge.Append(ns, oldest.Seconds())
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package health
+
+import (
+	"time"
+
+	"tstorm/internal/tsdb"
+)
+
+// RuleOptions parameterize the standard SLO rule set. Zero values pick
+// the documented defaults.
+type RuleOptions struct {
+	// Window is the trend window rate probes aggregate over (default 10s).
+	Window time.Duration
+	// Fresh bounds how old a gauge sample may be and still count as
+	// current (default Window).
+	Fresh time.Duration
+
+	// ThroughputWarnFrac / ThroughputCritFrac: throughput under this
+	// fraction of its EWMA baseline degrades / goes critical
+	// (defaults 0.5 / 0.2).
+	ThroughputWarnFrac float64
+	ThroughputCritFrac float64
+
+	// P99WarnMs / P99CritMs: completion p99 at or above these ceilings
+	// (defaults 1000 / 5000 ms).
+	P99WarnMs float64
+	P99CritMs float64
+
+	// RatioWarnBand / RatioCritBand: predicted-vs-observed inter-node
+	// traffic ratio outside these bands (defaults [0.5,2] / [0.2,5]).
+	RatioWarnBand [2]float64
+	RatioCritBand [2]float64
+
+	// SaturationWarn / SaturationCrit: fraction of executor queues at or
+	// above 80% capacity (defaults 0.5 / 0.9).
+	SaturationWarn float64
+	SaturationCrit float64
+
+	// BeatWarn / BeatCrit: oldest live worker heartbeat age
+	// (defaults 1s / 5s — 10× and 50× the dist default heartbeat period).
+	BeatWarn time.Duration
+	BeatCrit time.Duration
+
+	// FailWarnPerSec / FailCritPerSec: spout timeout-failure rate
+	// (defaults 1 / 50 roots/s).
+	FailWarnPerSec float64
+	FailCritPerSec float64
+
+	// PoolMissWarn / PoolMissCrit: fraction of batch-pool requests that
+	// missed over the window (defaults 0.25 / 0.6).
+	PoolMissWarn float64
+	PoolMissCrit float64
+}
+
+func (o *RuleOptions) fillDefaults() {
+	if o.Window <= 0 {
+		o.Window = 10 * time.Second
+	}
+	if o.Fresh <= 0 {
+		o.Fresh = o.Window
+	}
+	if o.ThroughputWarnFrac <= 0 {
+		o.ThroughputWarnFrac = 0.5
+	}
+	if o.ThroughputCritFrac <= 0 {
+		o.ThroughputCritFrac = 0.2
+	}
+	if o.P99WarnMs <= 0 {
+		o.P99WarnMs = 1000
+	}
+	if o.P99CritMs <= 0 {
+		o.P99CritMs = 5000
+	}
+	if o.RatioWarnBand == [2]float64{} {
+		o.RatioWarnBand = [2]float64{0.5, 2}
+	}
+	if o.RatioCritBand == [2]float64{} {
+		o.RatioCritBand = [2]float64{0.2, 5}
+	}
+	if o.SaturationWarn <= 0 {
+		o.SaturationWarn = 0.5
+	}
+	if o.SaturationCrit <= 0 {
+		o.SaturationCrit = 0.9
+	}
+	if o.BeatWarn <= 0 {
+		o.BeatWarn = time.Second
+	}
+	if o.BeatCrit <= 0 {
+		o.BeatCrit = 5 * time.Second
+	}
+	if o.FailWarnPerSec <= 0 {
+		o.FailWarnPerSec = 1
+	}
+	if o.FailCritPerSec <= 0 {
+		o.FailCritPerSec = 50
+	}
+	if o.PoolMissWarn <= 0 {
+		o.PoolMissWarn = 0.25
+	}
+	if o.PoolMissCrit <= 0 {
+		o.PoolMissCrit = 0.6
+	}
+}
+
+// rateProbe reads the named counter's per-second rate over the window.
+func rateProbe(db *tsdb.DB, name string, window time.Duration) func(time.Time) (float64, bool) {
+	return func(now time.Time) (float64, bool) {
+		s := db.Lookup(name)
+		if s == nil {
+			return 0, false
+		}
+		return s.RateOver(now, window)
+	}
+}
+
+// latestProbe reads the named gauge's most recent sample, no older than
+// fresh.
+func latestProbe(db *tsdb.DB, name string, fresh time.Duration) func(time.Time) (float64, bool) {
+	return func(now time.Time) (float64, bool) {
+		s := db.Lookup(name)
+		if s == nil {
+			return 0, false
+		}
+		p, ok := s.Latest()
+		if !ok || p.TS < now.Add(-fresh).UnixNano() {
+			return 0, false
+		}
+		return p.V, true
+	}
+}
+
+// StandardRules builds the seven SLO rules from the paper-adjacent
+// operational story — throughput floor, completion-p99 ceiling,
+// predicted-vs-observed ratio band, queue saturation, worker heartbeat
+// age, ack-timeout storm, pool-miss rate — over the collector-fed series
+// in db. Rules whose series never receive data stay OK and report
+// has_value=false.
+func StandardRules(db *tsdb.DB, o RuleOptions) []Spec {
+	o.fillDefaults()
+	return []Spec{
+		{
+			Name:     "throughput-floor",
+			Help:     "sink throughput against its own healthy EWMA baseline",
+			Unit:     "tuples/s",
+			Probe:    rateProbe(db, SeriesSinkProcessed, o.Window),
+			Judge:    BelowFraction(o.ThroughputWarnFrac, o.ThroughputCritFrac),
+			Baseline: true,
+		},
+		{
+			Name:  "completion-p99-ceiling",
+			Help:  "per-window completion latency p99",
+			Unit:  "ms",
+			Probe: latestProbe(db, SeriesCompletionP99, o.Fresh),
+			Judge: Above(o.P99WarnMs, o.P99CritMs),
+		},
+		{
+			Name:  "predicted-observed-ratio",
+			Help:  "scheduler cost model vs measured inter-node traffic",
+			Unit:  "ratio",
+			Probe: latestProbe(db, SeriesRatio, o.Fresh),
+			Judge: OutsideBand(o.RatioWarnBand[0], o.RatioWarnBand[1], o.RatioCritBand[0], o.RatioCritBand[1]),
+		},
+		{
+			Name:  "queue-saturation",
+			Help:  "fraction of executor queues at ≥80% capacity",
+			Unit:  "fraction",
+			Probe: latestProbe(db, SeriesQueueSaturation, o.Fresh),
+			Judge: Above(o.SaturationWarn, o.SaturationCrit),
+		},
+		{
+			Name:  "worker-heartbeat-age",
+			Help:  "oldest live worker heartbeat",
+			Unit:  "s",
+			Probe: latestProbe(db, SeriesHeartbeatAge, o.Fresh),
+			Judge: Above(o.BeatWarn.Seconds(), o.BeatCrit.Seconds()),
+		},
+		{
+			Name:  "ack-timeout-storm",
+			Help:  "spout timeout-failure rate",
+			Unit:  "roots/s",
+			Probe: rateProbe(db, SeriesFailedRoots, o.Window),
+			Judge: Above(o.FailWarnPerSec, o.FailCritPerSec),
+		},
+		{
+			Name: "pool-miss-rate",
+			Help: "batch-pool allocation misses over the window",
+			Unit: "fraction",
+			Probe: func(now time.Time) (float64, bool) {
+				hits := db.Lookup(SeriesPoolHits)
+				misses := db.Lookup(SeriesPoolMisses)
+				if hits == nil || misses == nil {
+					return 0, false
+				}
+				dh, ok1 := hits.DeltaOver(now, o.Window)
+				dm, ok2 := misses.DeltaOver(now, o.Window)
+				if !ok1 || !ok2 || dh+dm <= 0 {
+					return 0, false
+				}
+				return dm / (dh + dm), true
+			},
+			Judge: Above(o.PoolMissWarn, o.PoolMissCrit),
+		},
+	}
+}

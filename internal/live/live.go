@@ -50,6 +50,7 @@ import (
 	"tstorm/internal/acker"
 	"tstorm/internal/cluster"
 	"tstorm/internal/engine"
+	"tstorm/internal/logx"
 	"tstorm/internal/metrics"
 	"tstorm/internal/sim"
 	"tstorm/internal/topology"
@@ -119,6 +120,11 @@ type Config struct {
 	// Remote carries frames to the worker processes owning non-local
 	// slots. Required when LocalSlots is set.
 	Remote RemoteSink
+	// Log receives structured operational lines (supervisor restarts,
+	// crash handling). Nil keeps the engine silent — trace events remain
+	// the primary record; set a logx logger to mirror them onto stderr
+	// in the same machine-parseable shape dist workers use.
+	Log *logx.Logger
 }
 
 // DefaultConfig returns the default live configuration.

@@ -235,6 +235,33 @@ func (eng *Engine) MaxQueueDepth() int {
 	return maxDepth
 }
 
+// QueueSaturation reports the fraction of bounded input queues whose
+// depth is at or above frac of capacity, plus the deepest queue depth —
+// the backpressure signal health rules sample. Like MaxQueueDepth it
+// reads the routing snapshot only, so it is cheap enough for a 1 s
+// sampler and never contends with Submit/Apply.
+func (eng *Engine) QueueSaturation(frac float64) (saturated float64, maxDepth int) {
+	rt := eng.routes.Load()
+	queues, hot := 0, 0
+	for _, le := range rt.byDense {
+		if le.in == nil {
+			continue
+		}
+		queues++
+		depth := len(le.in)
+		if depth > maxDepth {
+			maxDepth = depth
+		}
+		if c := cap(le.in); c > 0 && float64(depth) >= frac*float64(c) {
+			hot++
+		}
+	}
+	if queues == 0 {
+		return 0, 0
+	}
+	return float64(hot) / float64(queues), maxDepth
+}
+
 // EdgeStat is one directed executor pair's lifetime transfer count over
 // one boundary class.
 type EdgeStat struct {

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tstorm/internal/logx"
 	"tstorm/internal/topology"
 	"tstorm/internal/trace"
 	"tstorm/internal/tuple"
@@ -45,6 +46,7 @@ type Supervisor struct {
 	period time.Duration
 	base   time.Duration
 	cap    time.Duration
+	log    *logx.Logger
 
 	restarts atomic.Int64
 
@@ -63,11 +65,16 @@ func StartSupervisor(eng *Engine, period time.Duration) *Supervisor {
 	if period <= 0 {
 		period = DefaultSupervisorPeriod
 	}
+	log := eng.cfg.Log
+	if log == nil {
+		log = logx.Nop()
+	}
 	s := &Supervisor{
 		eng:    eng,
 		period: period,
 		base:   DefaultBackoffBase,
 		cap:    DefaultBackoffCap,
+		log:    log,
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
 	}
@@ -235,5 +242,7 @@ func (s *Supervisor) restartExec(le *liveExec) bool {
 	eng.workerRestarts.Add(1)
 	eng.emit(trace.WorkerRestarted, le.id.Topology, "",
 		fmt.Sprintf("%s restarted (attempt %d)", le.id, le.restarts))
+	s.log.With("executor", le.id.String()).Infof("restarted attempt=%d waited=%s",
+		rec.Attempt, rec.Waited.Round(time.Millisecond))
 	return true
 }

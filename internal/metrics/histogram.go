@@ -91,6 +91,36 @@ func (h *Histogram) Clone() *Histogram {
 	return &c
 }
 
+// Sub returns the window between two cumulative snapshots of the same
+// histogram: a histogram holding the samples recorded in h but not yet
+// in prev. It panics on mismatched geometry. The window's max is h's
+// cumulative max — an upper bound, since per-window maxima are not
+// retained — which only tightens the quantile cap.
+func (h *Histogram) Sub(prev *Histogram) *Histogram {
+	if prev == nil {
+		return h.Clone()
+	}
+	if h.lo != prev.lo || h.hi != prev.hi || h.binsPerDecade != prev.binsPerDecade {
+		panic("metrics: Sub across mismatched histogram geometries")
+	}
+	w := *h
+	w.counts = make([]int64, len(h.counts))
+	for i := range h.counts {
+		if d := h.counts[i] - prev.counts[i]; d > 0 {
+			w.counts[i] = d
+		}
+	}
+	w.total = h.total - prev.total
+	if w.total < 0 {
+		w.total = 0
+	}
+	w.sum = h.sum - prev.sum
+	if w.sum < 0 {
+		w.sum = 0
+	}
+	return &w
+}
+
 // Count reports the number of recorded values.
 func (h *Histogram) Count() int64 { return h.total }
 

@@ -6,9 +6,11 @@ import (
 )
 
 // TestScrapeNeverLosesDrainSamples is the scrape/drain-conflict proof: a
-// scraper calling Snapshot as fast as it can, concurrent with writers and
-// a benchmark repeatedly draining windows, must not cost the benchmark a
-// single sample — every value lands in exactly one drained window, and
+// scraper calling Snapshot as fast as it can, concurrent with writers, a
+// health sampler diffing consecutive snapshots (the windowed-p99 path),
+// and a benchmark repeatedly draining windows, must not cost the
+// benchmark a single sample — every value lands in exactly one drained
+// window, the sampler's Sub windows are monotone and non-negative, and
 // the cumulative snapshot converges to the full total.
 func TestScrapeNeverLosesDrainSamples(t *testing.T) {
 	h := NewSyncLatencyHistogram()
@@ -31,6 +33,36 @@ func TestScrapeNeverLosesDrainSamples(t *testing.T) {
 					t.Errorf("snapshot count %d exceeds written total %d", s.Count(), total)
 					return
 				}
+			}
+		}
+	}()
+
+	// Sampler: diff consecutive cumulative snapshots exactly like the
+	// health collector computing a per-window p99. Windows must never go
+	// negative (Sub clamps, but a conserving histogram never needs the
+	// clamp on count) and their sum must track the cumulative view.
+	var sampledWindows int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var prev *Histogram
+		for {
+			select {
+			case <-stopScrape:
+				// One final window so the sampler has seen everything the
+				// cumulative side ever published.
+				cur := h.Snapshot()
+				sampledWindows += cur.Sub(prev).Count()
+				return
+			default:
+				cur := h.Snapshot()
+				win := cur.Sub(prev)
+				if win.Count() < 0 {
+					t.Errorf("sampled window count went negative: %d", win.Count())
+					return
+				}
+				sampledWindows += win.Count()
+				prev = cur
 			}
 		}
 	}()
@@ -75,6 +107,10 @@ func TestScrapeNeverLosesDrainSamples(t *testing.T) {
 	}
 	if got := h.Snapshot().Count(); got != total {
 		t.Fatalf("cumulative snapshot has %d samples, want %d", got, total)
+	}
+	if sampledWindows != total {
+		t.Fatalf("sampled Sub windows sum to %d samples, want %d — the sampler view leaks or double-counts",
+			sampledWindows, total)
 	}
 }
 

@@ -1,0 +1,131 @@
+package telemetry
+
+// /debug/timeseries and /debug/health: the HTTP surface over the
+// in-process observability layer. The tsdb handler dumps retained
+// ring-buffer points (the same data the health rules and tstorm-top
+// read); the health handler dumps the SLO engine's verdicts. Both are
+// pure reads over lock-free snapshots, like every other endpoint here.
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"tstorm/internal/tsdb"
+)
+
+// levelValue maps a rule level name to its metric sample value. The
+// string set is closed (health.Level.String), so unknown means a future
+// level worse than critical — surface it as such rather than hiding it
+// behind ok.
+func levelValue(level string) float64 {
+	switch level {
+	case "ok":
+		return 0
+	case "degraded":
+		return 1
+	case "critical":
+		return 2
+	}
+	return 3
+}
+
+// seriesDoc is one retained series in the /debug/timeseries response.
+// Point timestamps are Unix nanoseconds, exactly as the sampler stamped
+// them.
+type seriesDoc struct {
+	Name   string       `json:"name"`
+	Kind   string       `json:"kind"`
+	Points []tsdb.Point `json:"points"`
+}
+
+// timeseriesDoc is the /debug/timeseries response body.
+type timeseriesDoc struct {
+	// Now is the server's clock at request time, for clients computing
+	// point ages without trusting their own clock skew.
+	Now time.Time `json:"now"`
+	// Window echoes the effective query window (0 = full retention).
+	Window string      `json:"window,omitempty"`
+	Series []seriesDoc `json:"series"`
+}
+
+// handleTimeseries dumps the retained ring-buffer series, oldest point
+// first. ?family= restricts to one series (400 with the known names when
+// unknown); ?window= restricts to points within a trailing duration.
+func (s *Server) handleTimeseries(w http.ResponseWriter, r *http.Request) {
+	db := s.cfg.TSDB
+	if db == nil {
+		http.Error(w, "time-series retention not enabled", http.StatusNotFound)
+		return
+	}
+	window, ok := requestWindow(w, r, 0)
+	if !ok {
+		return
+	}
+	names := db.Names()
+	if fam := r.URL.Query().Get("family"); fam != "" {
+		if db.Lookup(fam) == nil {
+			sort.Strings(names)
+			badRequest(w, "unknown family %q: have %s", fam, strings.Join(names, ", "))
+			return
+		}
+		names = []string{fam}
+	}
+	now := time.Now()
+	doc := timeseriesDoc{Now: now, Series: []seriesDoc{}}
+	if window > 0 {
+		doc.Window = window.String()
+	}
+	for _, name := range names {
+		sr := db.Lookup(name)
+		var pts []tsdb.Point
+		if window > 0 {
+			pts = sr.Since(now.Add(-window).UnixNano())
+		} else {
+			pts = sr.Last(sr.Cap())
+		}
+		if pts == nil {
+			pts = []tsdb.Point{}
+		}
+		doc.Series = append(doc.Series, seriesDoc{Name: name, Kind: sr.Kind().String(), Points: pts})
+	}
+	writeJSON(w, doc)
+}
+
+// handleHealth returns the SLO engine's verdict snapshot as JSON, or as
+// a fixed-width text panel with ?format=text (one line per rule, worst
+// first within equal spec order — the same panel tstorm-top renders).
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	hl := s.cfg.Health
+	if hl == nil {
+		http.Error(w, "health engine not enabled", http.StatusNotFound)
+		return
+	}
+	st := hl.Status(time.Now())
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "overall %s  evals=%d transitions=%d\n", st.Overall, st.Evals, st.Transitions)
+		for _, rs := range st.Rules {
+			val := "-"
+			if rs.HasValue {
+				val = fmt.Sprintf("%.3g", rs.Value)
+				if rs.Unit != "" {
+					val += " " + rs.Unit
+				}
+			}
+			base := ""
+			if rs.HasBaseline {
+				base = fmt.Sprintf("  baseline=%.3g", rs.Baseline)
+			}
+			since := ""
+			if !rs.Since.IsZero() {
+				since = fmt.Sprintf("  for %s", time.Since(rs.Since).Round(time.Second))
+			}
+			fmt.Fprintf(w, "%-9s %-28s %s%s%s\n", rs.Level, rs.Name, val, base, since)
+		}
+		return
+	}
+	writeJSON(w, st)
+}

@@ -6,11 +6,15 @@
 // buffer, as JSON or a plain-text timeline), /debug/scheduler (the
 // decision-report ring explaining every Algorithm 1 placement, as JSON or
 // a text timeline), /debug/traffic (the current and historical
-// traffic-matrix snapshots the scheduler decided on), and /debug/tuples
+// traffic-matrix snapshots the scheduler decided on), /debug/tuples
 // (sampled end-to-end tuple trees with critical-path latency attribution,
-// as JSON or a text flame timeline). All endpoints are read-only: any
-// method besides GET/HEAD is answered with 405. Config.Pprof additionally
-// mounts the net/http/pprof profiling handlers under /debug/pprof/.
+// as JSON or a text flame timeline), /debug/timeseries (the retained
+// ring-buffer series the health sampler writes), and /debug/health (the
+// SLO engine's per-rule verdicts). All endpoints are read-only: any
+// method besides GET/HEAD is answered with 405, and malformed query
+// parameters (?n=, ?window=, ?family=) are answered with a 400 carrying
+// a JSON {"error": ...} body. Config.Pprof additionally mounts the
+// net/http/pprof profiling handlers under /debug/pprof/.
 //
 // Everything the handlers read comes from lock-free snapshots — the
 // engine's copy-on-write route table, per-executor atomics, and the
@@ -30,10 +34,12 @@ import (
 
 	"tstorm/internal/cluster"
 	"tstorm/internal/decision"
+	"tstorm/internal/health"
 	"tstorm/internal/live"
 	"tstorm/internal/loaddb"
 	"tstorm/internal/trace"
 	"tstorm/internal/tracing"
+	"tstorm/internal/tsdb"
 )
 
 // WorkerStatus is one worker process's liveness row, as reported by a
@@ -94,6 +100,14 @@ type Config struct {
 	// running stack. Off by default: profiling endpoints cost real CPU
 	// when hit and should be opted into.
 	Pprof bool
+	// TSDB, when non-nil, backs /debug/timeseries — the retained
+	// ring-buffer series the health sampler writes. Absent, the endpoint
+	// answers 404.
+	TSDB *tsdb.DB
+	// Health, when non-nil, backs /debug/health and contributes the
+	// tstorm_health_* metric families. Absent, both are omitted entirely
+	// so a health-free scrape stays byte-identical to earlier releases.
+	Health *health.Engine
 }
 
 // Server serves the telemetry endpoints.
@@ -120,6 +134,8 @@ func NewServer(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/debug/traffic", readOnly(s.handleTraffic))
 	s.mux.HandleFunc("/debug/workers", readOnly(s.handleWorkers))
 	s.mux.HandleFunc("/debug/tuples", readOnly(s.handleTuples))
+	s.mux.HandleFunc("/debug/timeseries", readOnly(s.handleTimeseries))
+	s.mux.HandleFunc("/debug/health", readOnly(s.handleHealth))
 	if cfg.Pprof {
 		// The stock pprof handlers, on the usual paths. Not wrapped in
 		// readOnly: /debug/pprof/symbol legitimately accepts POST.
@@ -365,6 +381,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// Health families come last and only when a health engine is wired:
+	// a health-off scrape is byte-identical to earlier releases, and a
+	// health-on scrape is that same document plus this trailing block.
+	if hl := s.cfg.Health; hl != nil {
+		st := hl.Status(time.Now())
+		e.family("tstorm_health_level", "Worst rule level: 0 ok, 1 degraded, 2 critical.", "gauge")
+		e.sample("tstorm_health_level", nil, levelValue(st.Overall))
+		e.family("tstorm_health_rule_level", "Per-rule SLO level: 0 ok, 1 degraded, 2 critical.", "gauge")
+		for i := range st.Rules {
+			e.sample("tstorm_health_rule_level", []label{{"rule", st.Rules[i].Name}}, levelValue(st.Rules[i].Level))
+		}
+		e.family("tstorm_health_evals_total", "Completed health evaluation passes.", "counter")
+		e.sample("tstorm_health_evals_total", nil, float64(st.Evals))
+		e.family("tstorm_health_transitions_total", "Rule level transitions since start.", "counter")
+		e.sample("tstorm_health_transitions_total", nil, float64(st.Transitions))
+	}
+
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	fmt.Fprint(w, e.b.String())
 }
@@ -456,6 +489,18 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, docs)
 }
 
+// badRequest answers a malformed query parameter with a 400 and a JSON
+// {"error": ...} body — the uniform contract across every /debug
+// endpoint, so scrapers can parse rejections the same way they parse
+// successes.
+func badRequest(w http.ResponseWriter, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(http.StatusBadRequest)
+	json.NewEncoder(w).Encode(map[string]string{ //nolint:errcheck // best-effort over HTTP
+		"error": fmt.Sprintf(format, args...),
+	})
+}
+
 // requestLimit parses the ?n= query parameter against a default cap:
 // absent keeps the default, a larger value clamps to it, and anything
 // non-numeric or non-positive is a 400 (ok=false, response written).
@@ -467,13 +512,29 @@ func requestLimit(w http.ResponseWriter, r *http.Request, def int) (limit int, o
 	}
 	n, err := strconv.Atoi(q)
 	if err != nil || n <= 0 {
-		http.Error(w, fmt.Sprintf("invalid n=%q: want a positive integer", q), http.StatusBadRequest)
+		badRequest(w, "invalid n=%q: want a positive integer", q)
 		return 0, false
 	}
 	if n < limit {
 		limit = n
 	}
 	return limit, true
+}
+
+// requestWindow parses the ?window= query parameter: absent keeps def,
+// and anything that is not a positive Go duration is a 400 (ok=false,
+// response written).
+func requestWindow(w http.ResponseWriter, r *http.Request, def time.Duration) (window time.Duration, ok bool) {
+	q := r.URL.Query().Get("window")
+	if q == "" {
+		return def, true
+	}
+	d, err := time.ParseDuration(q)
+	if err != nil || d <= 0 {
+		badRequest(w, "invalid window=%q: want a positive Go duration like 30s", q)
+		return 0, false
+	}
+	return d, true
 }
 
 // schedulerDoc is the /debug/scheduler response body.

@@ -46,6 +46,14 @@ const (
 	TupleReplayed    Kind = "tuple-replayed"
 )
 
+// Event kinds emitted by the SLO health engine (internal/health). Where
+// names the rule; Detail carries the from→to levels and the probed value.
+const (
+	HealthDegraded  Kind = "health-degraded"
+	HealthCritical  Kind = "health-critical"
+	HealthRecovered Kind = "health-recovered"
+)
+
 // Event is one recorded occurrence. Simulated components stamp At; the
 // live runtime stamps Wall. Exactly one of the two is meaningful — Wall's
 // zero value marks a simulated event.

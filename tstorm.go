@@ -48,6 +48,7 @@ import (
 	"tstorm/internal/decision"
 	"tstorm/internal/dist"
 	"tstorm/internal/engine"
+	"tstorm/internal/health"
 	"tstorm/internal/live"
 	"tstorm/internal/loaddb"
 	"tstorm/internal/monitor"
@@ -56,6 +57,7 @@ import (
 	"tstorm/internal/telemetry"
 	"tstorm/internal/topology"
 	"tstorm/internal/trace"
+	"tstorm/internal/tsdb"
 	"tstorm/internal/tuple"
 )
 
@@ -208,6 +210,17 @@ type (
 	// its candidate slots, gains, and rejection constraints, plus the
 	// predicted inter-node traffic before and after.
 	DecisionReport = decision.Report
+	// TimeSeriesDB retains fixed-capacity ring-buffer time series sampled
+	// from the runtime's counters (see WithHealth).
+	TimeSeriesDB = tsdb.DB
+	// TimeSeriesSampler drives the periodic collection into a TimeSeriesDB.
+	TimeSeriesSampler = tsdb.Sampler
+	// HealthEngine evaluates declarative SLO rules against retained series
+	// with EWMA baselines and hysteresis (see WithHealth).
+	HealthEngine = health.Engine
+	// HealthStatus is the health engine's full verdict snapshot, as served
+	// on /debug/health.
+	HealthStatus = health.Status
 )
 
 // NewTelemetryServer builds a telemetry server over a live engine and
@@ -308,6 +321,8 @@ type wireConfig struct {
 	decisionHistory int           // reports retained; 0 = disabled
 	traceSampling   int           // wall-clock backends; 0 = disabled
 	pprof           bool          // mount /debug/pprof on StartTelemetry
+	health          bool          // wall-clock backends; sampler + SLO engine
+	sampleEvery     time.Duration // health sampling cadence; 0 = 1 s
 	err             error         // first invalid option
 }
 
@@ -443,6 +458,35 @@ func WithPprof() Option {
 	return func(c *wireConfig) { c.pprof = true }
 }
 
+// WithHealth enables the in-process observability layer on wall-clock
+// backends: a background sampler (default 1 s cadence; see
+// WithSampleEvery) retains the engine's counters, queue depths, and
+// windowed completion p99 as fixed-capacity ring-buffer time series on
+// Stack.TSDB, and an SLO health engine on Stack.Health judges them with
+// the standard rule set — throughput floor against an EWMA baseline,
+// completion-p99 ceiling, predicted-vs-observed ratio band, queue
+// saturation, worker heartbeat age, ack-timeout storms, and batch-pool
+// miss rate — with ok→degraded→critical hysteresis. Transitions are
+// emitted as trace events, StartTelemetry serves /debug/timeseries and
+// /debug/health plus the tstorm_health_* families, and tstorm-top
+// renders the same data as a terminal dashboard. Wire rejects it on the
+// simulated Runtime, which has no wall clock to sample against.
+func WithHealth() Option {
+	return func(c *wireConfig) { c.health = true }
+}
+
+// WithSampleEvery sets the health sampler's cadence (default 1 s).
+// Only meaningful together with WithHealth; Wire rejects it alone.
+func WithSampleEvery(d time.Duration) Option {
+	return func(c *wireConfig) {
+		if d <= 0 {
+			c.optErr(fmt.Errorf("tstorm: WithSampleEvery(%v): cadence must be positive", d))
+			return
+		}
+		c.sampleEvery = d
+	}
+}
+
 // WithAckTimeout sets the live engine's spout ack timeout — how long an
 // anchored root may stay un-acked before its spout fails it for replay.
 // Live backend only; Wire rejects it on the simulated Runtime, whose
@@ -505,11 +549,26 @@ type Stack struct {
 	// (nil otherwise). Both backends feed it.
 	Decisions *DecisionHistory
 
+	// TSDB retains the sampled time series and Health judges them when
+	// the stack was wired WithHealth (both nil otherwise). StartTelemetry
+	// serves them on /debug/timeseries and /debug/health.
+	TSDB   *TimeSeriesDB
+	Health *HealthEngine
+
+	// sampler drives the periodic collection feeding TSDB and Health;
+	// Stop halts it with the rest of the stack.
+	sampler *TimeSeriesSampler
+
 	// pprof records WithPprof for StartTelemetry.
 	pprof bool
 
 	stopOnce sync.Once
 }
+
+// Sampler returns the health sampler when wired WithHealth (nil
+// otherwise). Tests drive Sampler().Tick directly for deterministic
+// collection instead of waiting out the cadence.
+func (s *Stack) Sampler() *TimeSeriesSampler { return s.sampler }
 
 // Live reports whether the stack drives the in-process live backend.
 func (s *Stack) Live() bool { return s.Engine != nil }
@@ -542,6 +601,9 @@ func Wire(backend Backend, opts ...Option) (*Stack, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.sampleEvery != 0 && !cfg.health {
+		return nil, fmt.Errorf("tstorm: WithSampleEvery only tunes WithHealth; wire them together")
+	}
 
 	db := loaddb.New(0.5)
 	switch be := backend.(type) {
@@ -551,6 +613,9 @@ func Wire(backend Backend, opts ...Option) (*Stack, error) {
 		}
 		if cfg.traceSampling != 0 {
 			return nil, fmt.Errorf("tstorm: WithTraceSampling applies to the wall-clock backends only (the simulated Runtime has no wall clock to attribute latency against)")
+		}
+		if cfg.health {
+			return nil, fmt.Errorf("tstorm: WithHealth applies to the wall-clock backends only (the simulated Runtime has no wall clock to sample against)")
 		}
 		fleet := monitor.Start(be, db, cfg.monitorPeriod)
 		gcfg := core.DefaultGeneratorConfig()
@@ -599,7 +664,24 @@ func Wire(backend Backend, opts ...Option) (*Stack, error) {
 		}
 		ensureTStorm(gen.Registry(), cfg.gamma)
 		sup := live.StartSupervisor(be, 0)
-		return &Stack{DB: db, Engine: be, Monitor: mon, LiveGenerator: gen, Supervisor: sup, Decisions: hist, pprof: cfg.pprof}, nil
+		st := &Stack{DB: db, Engine: be, Monitor: mon, LiveGenerator: gen, Supervisor: sup, Decisions: hist, pprof: cfg.pprof}
+		if cfg.health {
+			src := health.Sources{
+				Totals:       be.Totals,
+				PendingRoots: be.PendingRoots,
+				QueueSaturation: func() (float64, int) {
+					return be.QueueSaturation(0.8)
+				},
+				CompletionLatency: be.CompletionLatencySnapshot,
+			}
+			if hist != nil {
+				src.Ratio = func(now time.Time) (float64, bool) {
+					return hist.Reconcile(be.Totals().InterNodeSent, now)
+				}
+			}
+			startHealth(&cfg, st, src, be.Trace())
+		}
+		return st, nil
 
 	case *DistEngine:
 		if cfg.ackTimeout != 0 || cfg.maxPending >= 0 {
@@ -626,18 +708,79 @@ func Wire(backend Backend, opts ...Option) (*Stack, error) {
 			return nil, err
 		}
 		ensureTStorm(gen.Registry(), cfg.gamma)
-		return &Stack{DB: db, Dist: be, LiveGenerator: gen, Decisions: hist, pprof: cfg.pprof}, nil
+		st := &Stack{DB: db, Dist: be, LiveGenerator: gen, Decisions: hist, pprof: cfg.pprof}
+		if cfg.health {
+			// CachedTotals reads the heartbeat-refreshed aggregates — the
+			// sampler must never block on per-worker status RPCs.
+			src := health.Sources{
+				Totals: be.CachedTotals,
+				PendingRoots: func() int64 {
+					var sum int64
+					for _, w := range be.Workers() {
+						sum += w.Pending
+					}
+					return sum
+				},
+				Workers: func(now time.Time) (alive, total int, oldestBeat time.Duration, ok bool) {
+					ws := be.Workers()
+					if len(ws) == 0 {
+						return 0, 0, 0, false
+					}
+					for i := range ws {
+						if !ws[i].Alive {
+							continue
+						}
+						alive++
+						if !ws[i].LastBeat.IsZero() {
+							if age := now.Sub(ws[i].LastBeat); age > oldestBeat {
+								oldestBeat = age
+							}
+						}
+					}
+					return alive, len(ws), oldestBeat, true
+				},
+			}
+			if hist != nil {
+				src.Ratio = func(now time.Time) (float64, bool) {
+					return hist.Reconcile(be.CachedTotals().InterNodeSent, now)
+				}
+			}
+			startHealth(&cfg, st, src, be.Trace())
+		}
+		return st, nil
 
 	default:
 		return nil, fmt.Errorf("tstorm: unsupported backend %T (want *tstorm.Runtime or *tstorm.LiveEngine)", backend)
 	}
 }
 
+// startHealth assembles the WithHealth machinery onto a wired stack: a
+// ring-buffer tsdb fed by the backend taps, the standard SLO rule set
+// judging it, and a background sampler driving one collect+evaluate pass
+// per cadence tick. Transitions land on rec (the backend's trace
+// recorder; nil keeps them in /debug/health only).
+func startHealth(cfg *wireConfig, st *Stack, src health.Sources, rec *trace.Recorder) {
+	tdb := tsdb.NewDB(0)
+	col := health.NewCollector(tdb, src)
+	eng := health.New(health.StandardRules(tdb, health.RuleOptions{}), rec)
+	every := cfg.sampleEvery
+	if every <= 0 {
+		every = tsdb.DefaultSampleEvery
+	}
+	smp := tsdb.NewSampler(every, func(now time.Time) {
+		col.Collect(now)
+		eng.Evaluate(now)
+	})
+	smp.Start()
+	st.TSDB, st.Health, st.sampler = tdb, eng, smp
+}
+
 // StartTelemetry serves the stack's observability endpoints — Prometheus
 // text-format /metrics, /debug/placement, /debug/trace (when the engine
 // was built with LiveConfig.Trace), /debug/scheduler + /debug/traffic
 // (when wired WithDecisionHistory), /debug/tuples (when wired
-// WithTraceSampling), and /debug/pprof/ (when wired WithPprof) — on addr (e.g. ":9090", or
+// WithTraceSampling), /debug/timeseries + /debug/health (when wired
+// WithHealth), and /debug/pprof/ (when wired WithPprof) — on addr (e.g. ":9090", or
 // "127.0.0.1:0" for an ephemeral port; read the bound address back with
 // Addr). Close the returned server when done. On the distributed backend
 // the counters are fleet aggregates and /debug/workers lists the worker
@@ -655,6 +798,8 @@ func (s *Stack) StartTelemetry(addr string) (*TelemetryServer, error) {
 			DB:      s.DB,
 			Tuples:  s.Engine.TraceCollector(),
 			Pprof:   s.pprof,
+			TSDB:    s.TSDB,
+			Health:  s.Health,
 		}
 	case s.Distributed():
 		be := s.Dist
@@ -677,6 +822,8 @@ func (s *Stack) StartTelemetry(addr string) (*TelemetryServer, error) {
 			DB:      s.DB,
 			Tuples:  be.TraceCollector(),
 			Pprof:   s.pprof,
+			TSDB:    s.TSDB,
+			Health:  s.Health,
 		}
 	default:
 		return nil, fmt.Errorf("tstorm: StartTelemetry requires the live or distributed backend")
@@ -732,6 +879,9 @@ func (s *Stack) Stop() error {
 		}
 		if s.Supervisor != nil {
 			s.Supervisor.Stop()
+		}
+		if s.sampler != nil {
+			s.sampler.Stop()
 		}
 	})
 	return nil
